@@ -1,0 +1,155 @@
+package perfilter
+
+import (
+	"fmt"
+	"math"
+
+	"perfilter/internal/model"
+)
+
+// Platform selects the cost model behind Advise: the host's analytic model
+// or one of the paper's Table 1 machines.
+type Platform uint8
+
+const (
+	// PlatformHost models the detected host machine.
+	PlatformHost Platform = iota
+	// PlatformXeon models the Intel Xeon E5-2680v4 (AVX2).
+	PlatformXeon
+	// PlatformKNL models the Intel Xeon Phi 7210 (Knights Landing).
+	PlatformKNL
+	// PlatformSKX models the Intel i9-7900X (Skylake-X) — the paper's
+	// default evaluation platform.
+	PlatformSKX
+	// PlatformRyzen models the AMD Ryzen Threadripper 1950X.
+	PlatformRyzen
+)
+
+func (p Platform) machine() model.Machine {
+	switch p {
+	case PlatformXeon:
+		return model.Xeon()
+	case PlatformKNL:
+		return model.KNL()
+	case PlatformSKX:
+		return model.SKX()
+	case PlatformRyzen:
+		return model.Ryzen()
+	default:
+		return model.HostMachine()
+	}
+}
+
+// Workload describes the filtering decision's inputs (§2): how many keys
+// the filter will hold, what a pruned probe saves, how often probes truly
+// hit, and the memory budget.
+type Workload struct {
+	// N is the number of build-side keys the filter will represent.
+	N uint64
+	// Tw is the work saved per true-negative probe, in CPU cycles
+	// (Figure 1 gives reference points: a cache miss ≈ 10^2, a network
+	// tuple ≈ 10^4, an SSD read ≈ 10^5-10^6, a disk seek ≈ 10^7).
+	Tw float64
+	// Sigma is the fraction of probes that truly match (join hit rate).
+	// Used for the is-filtering-beneficial test; 0 if unknown.
+	Sigma float64
+	// BitsPerKeyBudget caps the filter memory (the paper sweeps 4-20).
+	// 0 defaults to 20.
+	BitsPerKeyBudget float64
+	// Platform selects the cost model (default: the host).
+	Platform Platform
+	// AllowExact additionally considers an exact hash set (~75 bits/key,
+	// ignores the budget) — Figure 1's low-n/high-tw region.
+	AllowExact bool
+	// FullSpace enumerates the paper's complete configuration space
+	// instead of the curated default subset (slower, marginally better).
+	FullSpace bool
+}
+
+// Advice is the performance-optimal recommendation.
+type Advice struct {
+	// Config is the recommended configuration; build it with New(Config,
+	// MBits).
+	Config Config
+	// MBits is the recommended filter size in bits.
+	MBits uint64
+	// FPR is the expected false-positive rate at that size.
+	FPR float64
+	// LookupCycles is the modeled lookup cost tl.
+	LookupCycles float64
+	// Overhead is ρ = tl + f·tw (Eq. 1), the per-probe cost of filtering.
+	Overhead float64
+	// Beneficial reports whether filtering helps at all given Sigma:
+	// ρ < (1−σ)·tw (§2). A performance-optimal filter can still be a net
+	// loss when almost every probe hits.
+	Beneficial bool
+	// Model names the cost model used.
+	Model string
+}
+
+// Advise returns the performance-optimal filter for the workload: the
+// configuration and size minimizing ρ(F) = tl(F) + f(F)·tw over the
+// paper's configuration space, subject to the memory budget and cuckoo
+// load-factor feasibility.
+func Advise(w Workload) (Advice, error) {
+	if w.N == 0 {
+		return Advice{}, fmt.Errorf("perfilter: workload needs N > 0")
+	}
+	if w.Tw < 0 || w.Sigma < 0 || w.Sigma > 1 {
+		return Advice{}, fmt.Errorf("perfilter: invalid Tw or Sigma")
+	}
+	budget := w.BitsPerKeyBudget
+	if budget == 0 {
+		budget = 20
+	}
+	if budget < 4 {
+		return Advice{}, fmt.Errorf("perfilter: budget below 4 bits/key is not in the model's validated range")
+	}
+	machine := w.Platform.machine()
+	opts := model.DefaultSweepOpts()
+	opts.MaxBitsPerKey = budget
+	opts.MStepsPerOctave = 8
+	if w.AllowExact {
+		opts.MaxExactBytes = math.MaxUint64
+	}
+	grid := model.Grid{Ns: []uint64{w.N}, Tws: []float64{w.Tw}}
+	sky := model.ComputeSkyline(grid, model.DefaultConfigs(w.FullSpace), machine, opts)
+	kinds := []model.Kind{model.KindBlockedBloom, model.KindCuckoo}
+	if w.FullSpace {
+		kinds = append(kinds, model.KindClassicBloom)
+	}
+	if w.AllowExact {
+		kinds = append(kinds, model.KindExact)
+	}
+	_, best := sky.Cells[0][0].Winner(kinds...)
+	if math.IsInf(best.Rho, 1) {
+		return Advice{}, fmt.Errorf("perfilter: no feasible configuration within %.1f bits/key", budget)
+	}
+	mBits := best.MBits
+	if best.Config.Kind == model.KindExact {
+		mBits = model.ExactBits(w.N)
+	}
+	return Advice{
+		Config:       fromModel(best.Config),
+		MBits:        mBits,
+		FPR:          best.F,
+		LookupCycles: best.Tl,
+		Overhead:     best.Rho,
+		Beneficial:   model.Beneficial(best.Rho, w.Sigma, w.Tw),
+		Model:        machine.Name(),
+	}, nil
+}
+
+// BuildAdvised is a convenience that runs Advise and constructs the
+// recommended filter.
+func BuildAdvised(w Workload) (Filter, Advice, error) {
+	advice, err := Advise(w)
+	if err != nil {
+		return nil, Advice{}, err
+	}
+	f, err := New(advice.Config, advice.MBits)
+	if err != nil {
+		return nil, Advice{}, err
+	}
+	return f, advice, nil
+}

@@ -1,0 +1,71 @@
+// filter-advisor recommends the performance-optimal filter for a workload:
+// the configuration and size minimizing ρ(F) = tl(F) + f(F)·tw (§2 of the
+// paper), plus whether filtering is beneficial at all given the true-hit
+// rate σ.
+//
+// Usage:
+//
+//	filter-advisor -n 1000000 -tw 200 [-sigma 0.1] [-budget 16]
+//	               [-platform host|skx|xeon|knl|ryzen] [-exact] [-full]
+//
+// tw reference points (Figure 1): CPU cache miss ≈ 10^2 cycles, a network
+// tuple ≈ 10^4, an NVMe read ≈ 10^5, a SATA SSD read ≈ 10^6, a magnetic
+// disk read ≈ 10^7, a 100 MB S3 Parquet file ≈ 10^9.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfilter"
+)
+
+func main() {
+	n := flag.Uint64("n", 0, "build-side key count (required)")
+	tw := flag.Float64("tw", 0, "work saved per pruned probe, in cycles (required)")
+	sigma := flag.Float64("sigma", 0, "true-hit rate of probes [0,1]")
+	budget := flag.Float64("budget", 20, "memory budget in bits per key")
+	platformName := flag.String("platform", "host", "cost model: host|skx|xeon|knl|ryzen")
+	allowExact := flag.Bool("exact", false, "also consider an exact hash set")
+	full := flag.Bool("full", false, "search the full configuration space")
+	flag.Parse()
+
+	if *n == 0 || *tw <= 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	platforms := map[string]perfilter.Platform{
+		"host": perfilter.PlatformHost, "skx": perfilter.PlatformSKX,
+		"xeon": perfilter.PlatformXeon, "knl": perfilter.PlatformKNL,
+		"ryzen": perfilter.PlatformRyzen,
+	}
+	p, ok := platforms[*platformName]
+	if !ok {
+		fmt.Fprintln(os.Stderr, "filter-advisor: unknown platform", *platformName)
+		os.Exit(1)
+	}
+	advice, err := perfilter.Advise(perfilter.Workload{
+		N: *n, Tw: *tw, Sigma: *sigma,
+		BitsPerKeyBudget: *budget, Platform: p,
+		AllowExact: *allowExact, FullSpace: *full,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "filter-advisor:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("performance-optimal filter (%s):\n", advice.Model)
+	fmt.Printf("  config        %s\n", advice.Config)
+	fmt.Printf("  size          %d bits (%.2f bits/key, %.1f KiB)\n",
+		advice.MBits, float64(advice.MBits)/float64(*n), float64(advice.MBits)/8/1024)
+	fmt.Printf("  fpr           %.6g\n", advice.FPR)
+	fmt.Printf("  lookup cost   %.2f cycles\n", advice.LookupCycles)
+	fmt.Printf("  overhead rho  %.2f cycles  (tl + f*tw)\n", advice.Overhead)
+	if advice.Beneficial {
+		fmt.Printf("  verdict       install it: rho < (1-sigma)*tw = %.1f\n",
+			(1-*sigma)**tw)
+	} else {
+		fmt.Printf("  verdict       do NOT filter: rho >= (1-sigma)*tw = %.1f\n",
+			(1-*sigma)**tw)
+	}
+}

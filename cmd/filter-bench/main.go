@@ -1,0 +1,62 @@
+// filter-bench runs the measured experiments on the host: Figure 5
+// (sectorization throughput), Figure 9 (magic vs power-of-two sizing),
+// Figure 14 (lookup scaling across filter sizes), Figure 15 (batch-kernel
+// speedups), Figure 3 (the overhead curve) and the bucket-size ablation.
+//
+// Usage:
+//
+//	filter-bench [-fig 3|5|9|14|15|ablation] [-quick] [-size MiB]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfilter/internal/bench"
+	"perfilter/internal/blocked"
+	"perfilter/internal/model"
+)
+
+func main() {
+	fig := flag.String("fig", "14", "experiment: 3, 5, 9, 14, 15 or ablation")
+	quick := flag.Bool("quick", false, "short measurements (noisier)")
+	sizeMiB := flag.Uint64("size", 256, "large-filter size in MiB (figures 5 and 9)")
+	flag.Parse()
+
+	eff := bench.FullEffort()
+	if *quick {
+		eff = bench.QuickEffort()
+	}
+	bigBits := *sizeMiB << 23 // MiB → bits
+
+	switch *fig {
+	case "3":
+		cfg := model.Config{Kind: model.KindBlockedBloom,
+			Bloom: blocked.CacheSectorizedParams(64, 512, 2, 8, true)}
+		fmt.Println("# Figure 3: overhead vs filter size (analytic, SKX model)")
+		fmt.Print(bench.Format([]bench.Series{
+			bench.Fig3OverheadCurve(cfg, 1<<22, 1024, model.SKX()),
+		}))
+	case "5":
+		fmt.Println("# Figure 5a: 16 KiB (cache-resident) filter, k=16")
+		fmt.Print(bench.Format(bench.Fig5Sectorization(16<<10*8, 16, eff)))
+		fmt.Printf("# Figure 5b: %d MiB (DRAM-resident) filter, k=16\n", *sizeMiB)
+		fmt.Print(bench.Format(bench.Fig5Sectorization(bigBits, 16, eff)))
+	case "9":
+		fmt.Println("# Figure 9: magic vs pow2 lookup cost across sizes (cache-sectorized k=8 B=512 z=2)")
+		fmt.Print(bench.Format(bench.Fig9MagicModulo(bigBits, eff)))
+	case "14":
+		fmt.Println("# Figure 14: cycles per lookup vs filter size")
+		fmt.Print(bench.Format(bench.Fig14LookupScaling(1<<16, bigBits, eff)))
+	case "15":
+		fmt.Println("# Figure 15: batch-kernel speedups (host; see EXPERIMENTS.md for the SIMD gap)")
+		fmt.Print(bench.FormatFig15(bench.Fig15BatchSpeedup(eff)))
+	case "ablation":
+		fmt.Println("# Ablation: cuckoo bucket size at tw=2^14 (the b=2 finding, §6)")
+		fmt.Print(bench.Format([]bench.Series{bench.AblationCuckooBucket(1<<14, eff)}))
+	default:
+		fmt.Fprintln(os.Stderr, "filter-bench: unknown experiment", *fig)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,59 @@
+// filter-calibrate performs the paper's one-time calibration phase (§2):
+// it measures the batched lookup cost of a set of filter configurations
+// across filter sizes on this machine and writes the results as JSON.
+// filter-skyline -calibration consumes the output to build skylines from
+// measurements instead of the analytic model.
+//
+// Usage:
+//
+//	filter-calibrate [-o calibration.json] [-quick] [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"perfilter/internal/calibrate"
+	"perfilter/internal/model"
+)
+
+func main() {
+	out := flag.String("o", "calibration.json", "output file")
+	quick := flag.Bool("quick", false, "short measurements (noisier)")
+	full := flag.Bool("full", false, "calibrate the full configuration space (slow)")
+	flag.Parse()
+
+	opts := calibrate.DefaultOpts()
+	opts.MinTime = 20 * time.Millisecond
+	if *quick {
+		opts.MinTime = 2 * time.Millisecond
+	}
+
+	configs := model.DefaultConfigs(*full)
+	var sizes []uint64
+	for bits := uint64(1 << 14); bits <= 1<<30; bits <<= 2 {
+		sizes = append(sizes, bits)
+	}
+	fmt.Fprintf(os.Stderr, "calibrating %d configs × %d sizes…\n", len(configs), len(sizes))
+
+	start := time.Now()
+	res, err := calibrate.Run(configs, sizes, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "filter-calibrate:", err)
+		os.Exit(1)
+	}
+	data, err := res.Marshal()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "filter-calibrate:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "filter-calibrate:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d points to %s in %v (platform: %s, %.2f cycles/ns)\n",
+		len(res.Points), *out, time.Since(start).Round(time.Millisecond),
+		res.Platform, res.CyclesPerNs)
+}

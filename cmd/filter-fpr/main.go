@@ -1,0 +1,40 @@
+// filter-fpr prints the analytic false-positive-rate experiments: Figure 4
+// (impact of blocking and the optimal k), Figure 7 (sectorized vs
+// cache-sectorized) and Figure 8 (cuckoo signature/bucket trade-offs), as
+// tab-separated tables ready for plotting.
+//
+// Usage:
+//
+//	filter-fpr [-fig 4|4k|7|8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfilter/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "4", "table to print: 4 (FPR), 4k (optimal k), 7, 8")
+	flag.Parse()
+
+	switch *fig {
+	case "4":
+		fmt.Println("# Figure 4a: false-positive rate vs bits-per-key (optimal k per point)")
+		fmt.Print(bench.Format(bench.Fig4BlockingImpact()))
+	case "4k":
+		fmt.Println("# Figure 4b: optimal k vs bits-per-key")
+		fmt.Print(bench.Format(bench.Fig4OptimalK()))
+	case "7":
+		fmt.Println("# Figure 7: sectorization vs cache-sectorization FPR (k=8)")
+		fmt.Print(bench.Format(bench.Fig7SectorizationFPR()))
+	case "8":
+		fmt.Println("# Figure 8: cuckoo filter FPR by signature length and bucket size")
+		fmt.Print(bench.Format(bench.Fig8CuckooFPR()))
+	default:
+		fmt.Fprintln(os.Stderr, "filter-fpr: unknown figure", *fig)
+		os.Exit(1)
+	}
+}

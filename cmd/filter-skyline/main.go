@@ -1,0 +1,99 @@
+// filter-skyline regenerates the paper's skyline experiments: Figure 1
+// (conceptual winner map including the exact-structure region), Figure 10
+// (Bloom-vs-Cuckoo type maps on the four Table 1 platforms), Figure 11
+// (speedup and winner-FPR maps) and Figures 12/13 (winning configuration
+// facets).
+//
+// Usage:
+//
+//	filter-skyline [-platform skx|xeon|knl|ryzen|host|all] [-fig 1|10|11|12|13]
+//	               [-full] [-calibration file.json]
+//
+// -full uses the paper's full n-grid resolution and configuration space
+// (slower). -calibration substitutes host measurements from
+// filter-calibrate for the analytic cost model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfilter/internal/bench"
+	"perfilter/internal/calibrate"
+	"perfilter/internal/model"
+)
+
+func main() {
+	platformFlag := flag.String("platform", "skx", "cost model: skx|xeon|knl|ryzen|host|all")
+	fig := flag.Int("fig", 10, "figure to regenerate: 1, 10, 11, 12 or 13")
+	full := flag.Bool("full", false, "paper-resolution grid and full config space")
+	calibFile := flag.String("calibration", "", "JSON from filter-calibrate to use as the cost model")
+	flag.Parse()
+
+	models, caches, err := costModels(*platformFlag, *calibFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "filter-skyline:", err)
+		os.Exit(1)
+	}
+
+	switch *fig {
+	case 1:
+		for _, m := range models {
+			fmt.Print(bench.Fig1Summary(m, caches[2], *full))
+		}
+	case 10:
+		fmt.Print(bench.Fig10Skylines(models, *full))
+	case 11:
+		for _, m := range models {
+			fmt.Printf("== %s ==\n%s", m.Name(), bench.Fig11SpeedupAndFPR(m, *full))
+		}
+	case 12:
+		for _, m := range models {
+			fmt.Printf("== %s ==\n%s", m.Name(), bench.Fig12BloomFacets(m, caches, *full))
+		}
+	case 13:
+		for _, m := range models {
+			fmt.Printf("== %s ==\n%s", m.Name(), bench.Fig13CuckooFacets(m, caches, *full))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "filter-skyline: unknown figure", *fig)
+		os.Exit(1)
+	}
+}
+
+// costModels resolves the platform flag into cost models and a cache
+// hierarchy for size-class facets.
+func costModels(name, calibFile string) ([]model.CostModel, [3]uint64, error) {
+	if calibFile != "" {
+		data, err := os.ReadFile(calibFile)
+		if err != nil {
+			return nil, [3]uint64{}, err
+		}
+		res, err := calibrate.Unmarshal(data)
+		if err != nil {
+			return nil, [3]uint64{}, err
+		}
+		host := model.HostMachine()
+		return []model.CostModel{calibrate.NewMeasuredModel(res)},
+			[3]uint64{host.L1, host.L2, host.L3}, nil
+	}
+	byName := map[string]model.Machine{
+		"xeon": model.Xeon(), "knl": model.KNL(),
+		"skx": model.SKX(), "ryzen": model.Ryzen(),
+		"host": model.HostMachine(),
+	}
+	if name == "all" {
+		var out []model.CostModel
+		for _, m := range model.Presets() {
+			out = append(out, m)
+		}
+		skx := model.SKX()
+		return out, [3]uint64{skx.L1, skx.L2, skx.L3}, nil
+	}
+	m, ok := byName[name]
+	if !ok {
+		return nil, [3]uint64{}, fmt.Errorf("unknown platform %q", name)
+	}
+	return []model.CostModel{m}, [3]uint64{m.L1, m.L2, m.L3}, nil
+}

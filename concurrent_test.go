@@ -1,0 +1,91 @@
+package perfilter
+
+import (
+	"sync"
+	"testing"
+
+	"perfilter/internal/rng"
+)
+
+// The filters document "safe for concurrent readers": verify that a filter
+// frozen after its build phase answers consistently from many goroutines.
+// Run with -race for the full guarantee (the race detector sees any
+// read/write overlap these tests would miss).
+func TestConcurrentReaders(t *testing.T) {
+	builders := map[string]func() (Filter, error){
+		"register-blocked": func() (Filter, error) { return NewRegisterBlockedBloom(4, 1<<16) },
+		"cache-sectorized": func() (Filter, error) { return NewCacheSectorizedBloom(8, 2, 1<<16) },
+		"classic":          func() (Filter, error) { return NewClassicBloom(7, 1<<16) },
+		"cuckoo": func() (Filter, error) {
+			return NewCuckoo(16, 2, CuckooSizeForKeys(16, 2, 4000))
+		},
+		"exact": func() (Filter, error) { return NewExact(4000), nil },
+	}
+	for name, build := range builders {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			f, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rng.NewMT19937(7)
+			keys := make([]uint32, 4000)
+			for i := range keys {
+				keys[i] = r.Uint32()
+				if err := f.Insert(keys[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Reference answers, single-threaded.
+			probe := make([]uint32, 2048)
+			for i := range probe {
+				if i%2 == 0 {
+					probe[i] = keys[i%len(keys)]
+				} else {
+					probe[i] = r.Uint32()
+				}
+			}
+			want := make([]bool, len(probe))
+			for i, k := range probe {
+				want[i] = f.Contains(k)
+			}
+			// Hammer from 8 goroutines: scalar and batched reads must both
+			// reproduce the reference answers.
+			var wg sync.WaitGroup
+			errs := make(chan string, 8)
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					sel := make([]uint32, 0, len(probe))
+					for rep := 0; rep < 50; rep++ {
+						for i, k := range probe {
+							if f.Contains(k) != want[i] {
+								errs <- name + ": scalar answer changed under concurrency"
+								return
+							}
+						}
+						sel = f.ContainsBatch(probe, sel[:0])
+						j := 0
+						for i := range probe {
+							got := j < len(sel) && sel[j] == uint32(i)
+							if got != want[i] {
+								errs <- name + ": batch answer changed under concurrency"
+								return
+							}
+							if got {
+								j++
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for e := range errs {
+				t.Fatal(e)
+			}
+		})
+	}
+}

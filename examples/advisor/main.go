@@ -1,0 +1,59 @@
+// Advisor: ask the performance model which filter to use for the
+// workloads of Figure 1 — from avoiding a CPU cache miss (high throughput,
+// Bloom territory) through network tuples and SSD reads (Cuckoo territory)
+// to small problems with huge savings (exact-structure territory).
+//
+//	go run ./examples/advisor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perfilter"
+)
+
+func main() {
+	type scenario struct {
+		name string
+		w    perfilter.Workload
+	}
+	scenarios := []scenario{
+		{"join pushdown (avoid a cache miss)", perfilter.Workload{
+			N: 10_000_000, Tw: 150, Sigma: 0.10, Platform: perfilter.PlatformSKX}},
+		{"distributed semi-join (network tuple)", perfilter.Workload{
+			N: 1_000_000, Tw: 10_000, Sigma: 0.05, Platform: perfilter.PlatformSKX}},
+		{"LSM run skipping (NVMe read)", perfilter.Workload{
+			N: 200_000, Tw: 300_000, Sigma: 0.02, Platform: perfilter.PlatformSKX}},
+		{"cold-storage index (disk seek, small n)", perfilter.Workload{
+			N: 20_000, Tw: 20_000_000, Sigma: 0.02,
+			Platform: perfilter.PlatformSKX, AllowExact: true}},
+		{"filter would backfire (σ≈1)", perfilter.Workload{
+			N: 1_000_000, Tw: 150, Sigma: 0.98, Platform: perfilter.PlatformSKX}},
+	}
+
+	fmt.Println("performance-optimal filtering advisor (cost model: Skylake-X preset)")
+	for _, sc := range scenarios {
+		advice, err := perfilter.Advise(sc.w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "install"
+		if !advice.Beneficial {
+			verdict = "do NOT filter"
+		}
+		fmt.Printf("\n%s\n  n=%d  tw=%.0f cycles  σ=%.2f\n", sc.name, sc.w.N, sc.w.Tw, sc.w.Sigma)
+		fmt.Printf("  → %s at %.1f bits/key (f=%.2g, tl=%.1f cyc, ρ=%.1f cyc) — %s\n",
+			advice.Config, float64(advice.MBits)/float64(sc.w.N),
+			advice.FPR, advice.LookupCycles, advice.Overhead, verdict)
+	}
+
+	// Build the recommendation for the first scenario and use it.
+	f, advice, err := perfilter.BuildAdvised(scenarios[0].w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f.Insert(12345)
+	fmt.Printf("\nbuilt the first recommendation (%s): contains(12345)=%v, contains(777)=%v\n",
+		advice.Config, f.Contains(12345), f.Contains(777))
+}

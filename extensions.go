@@ -1,0 +1,173 @@
+package perfilter
+
+import (
+	"fmt"
+
+	"perfilter/internal/blocked"
+	"perfilter/internal/counting"
+	"perfilter/internal/cuckoo"
+	"perfilter/internal/hashing"
+	"perfilter/internal/scalable"
+)
+
+// This file hosts the extension surface beyond the paper's core filters:
+// deletable and growable Bloom variants from the paper's related-work
+// section (§7), filter serialization (what a distributed semi-join
+// broadcast actually ships), and helpers for hashing wider keys down to
+// the 32-bit key space the filters operate on.
+
+// CountingBloomFilter is a blocked counting Bloom filter: a Bloom filter
+// that supports deletion by keeping 4-bit saturating counters instead of
+// bits (§7's classic alternative to cuckoo filters for delete-heavy
+// workloads, at 4× the memory of the equivalent plain filter).
+type CountingBloomFilter struct {
+	f *counting.Filter
+}
+
+// NewCountingBloom returns a counting filter with nCounters counters and k
+// hash functions. Precision matches a blocked Bloom filter of nCounters
+// bits; memory is 4× that.
+func NewCountingBloom(k uint32, nCounters uint64) (*CountingBloomFilter, error) {
+	f, err := counting.New(counting.Params{K: k, Magic: true}, nCounters)
+	if err != nil {
+		return nil, err
+	}
+	return &CountingBloomFilter{f}, nil
+}
+
+// Insert implements Filter.
+func (c *CountingBloomFilter) Insert(key Key) error { return c.f.Insert(key) }
+
+// Contains implements Filter.
+func (c *CountingBloomFilter) Contains(key Key) bool { return c.f.Contains(key) }
+
+// ContainsBatch implements Filter.
+func (c *CountingBloomFilter) ContainsBatch(keys []Key, sel []uint32) []uint32 {
+	return c.f.ContainsBatch(keys, sel)
+}
+
+// Delete decrements the key's counters. Only delete keys you inserted
+// (the standard counting-filter contract).
+func (c *CountingBloomFilter) Delete(key Key) bool { return c.f.Delete(key) }
+
+// SizeBits implements Filter (true footprint, counters included).
+func (c *CountingBloomFilter) SizeBits() uint64 { return c.f.SizeBits() }
+
+// FPR implements Filter.
+func (c *CountingBloomFilter) FPR(n uint64) float64 { return c.f.FPR(n) }
+
+// Reset implements Filter.
+func (c *CountingBloomFilter) Reset() { c.f.Reset() }
+
+// String implements Filter.
+func (c *CountingBloomFilter) String() string { return c.f.String() }
+
+// Overflowed reports increments lost to counter saturation (diagnostics).
+func (c *CountingBloomFilter) Overflowed() uint64 { return c.f.Overflowed() }
+
+// ScalableBloomFilter grows automatically when the key count is unknown in
+// advance, keeping the compound false-positive rate under a target (§7's
+// scalable Bloom filter, staged over cache-sectorized filters).
+type ScalableBloomFilter struct {
+	f *scalable.Filter
+}
+
+// NewScalableBloom returns a growable filter starting at initialCapacity
+// keys with a compound FPR ceiling of targetFPR.
+func NewScalableBloom(initialCapacity uint64, targetFPR float64) (*ScalableBloomFilter, error) {
+	f, err := scalable.New(scalable.DefaultOptions(initialCapacity, targetFPR))
+	if err != nil {
+		return nil, err
+	}
+	return &ScalableBloomFilter{f}, nil
+}
+
+// Insert implements Filter; it grows the filter as needed.
+func (s *ScalableBloomFilter) Insert(key Key) error { return s.f.Insert(key) }
+
+// Contains implements Filter.
+func (s *ScalableBloomFilter) Contains(key Key) bool { return s.f.Contains(key) }
+
+// ContainsBatch implements Filter.
+func (s *ScalableBloomFilter) ContainsBatch(keys []Key, sel []uint32) []uint32 {
+	return s.f.ContainsBatch(keys, sel)
+}
+
+// SizeBits implements Filter (sum over stages).
+func (s *ScalableBloomFilter) SizeBits() uint64 { return s.f.SizeBits() }
+
+// FPR implements Filter: the compound rate at the current fill (the n
+// argument is ignored; the filter tracks its own counts).
+func (s *ScalableBloomFilter) FPR(n uint64) float64 { return s.f.FPR(n) }
+
+// Reset implements Filter.
+func (s *ScalableBloomFilter) Reset() { s.f.Reset() }
+
+// String implements Filter.
+func (s *ScalableBloomFilter) String() string { return s.f.String() }
+
+// Stages returns the current stage count.
+func (s *ScalableBloomFilter) Stages() int { return s.f.Stages() }
+
+// Count returns the inserted key count.
+func (s *ScalableBloomFilter) Count() uint64 { return s.f.Count() }
+
+var (
+	_ Filter = (*CountingBloomFilter)(nil)
+	_ Filter = (*ScalableBloomFilter)(nil)
+)
+
+// Marshal serializes a filter built by this package for network transfer
+// or persistence (e.g. the semi-join broadcast). Blocked Bloom filters and
+// cuckoo filters are supported.
+func Marshal(f Filter) ([]byte, error) {
+	switch v := f.(type) {
+	case *blockedAdapter:
+		m, ok := v.f.(interface{ MarshalBinary() ([]byte, error) })
+		if !ok {
+			return nil, fmt.Errorf("perfilter: filter does not serialize")
+		}
+		return m.MarshalBinary()
+	case *CuckooFilter:
+		return v.f.MarshalBinary()
+	default:
+		return nil, fmt.Errorf("perfilter: %T does not serialize", f)
+	}
+}
+
+// Unmarshal reverses Marshal, reconstructing the filter with its type and
+// parameters.
+func Unmarshal(data []byte) (Filter, error) {
+	if len(data) >= 4 {
+		// Dispatch on the wire magic (both formats put it first).
+		if f, err := blocked.Unmarshal(data); err == nil {
+			return &blockedAdapter{f}, nil
+		}
+		if f, err := cuckoo.Unmarshal(data); err == nil {
+			return &CuckooFilter{f}, nil
+		}
+	}
+	return nil, fmt.Errorf("perfilter: unrecognized filter encoding")
+}
+
+// Hash64 folds a 64-bit key into the 32-bit key space the filters operate
+// on, preserving entropy from both halves. Collisions at 32 bits are part
+// of the filter's false-positive budget.
+func Hash64(key uint64) Key {
+	return hashing.Fold64(key * hashing.Golden64)
+}
+
+// HashString hashes an arbitrary byte string into the 32-bit key space
+// (FNV-1a folded through the multiplicative finalizer).
+func HashString(s string) Key {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return Hash64(h)
+}

@@ -1,0 +1,182 @@
+package perfilter
+
+import (
+	"testing"
+
+	"perfilter/internal/rng"
+)
+
+func TestCountingBloomPublic(t *testing.T) {
+	f, err := NewCountingBloom(5, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.NewMT19937(1)
+	keys := make([]uint32, 500)
+	for i := range keys {
+		keys[i] = r.Uint32()
+		if err := f.Insert(keys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatal("false negative")
+		}
+	}
+	for _, k := range keys {
+		if !f.Delete(k) {
+			t.Fatal("delete failed")
+		}
+	}
+	neg := 0
+	for i := 0; i < 1000; i++ {
+		if !f.Contains(r.Uint32()) {
+			neg++
+		}
+	}
+	if neg < 995 {
+		t.Fatalf("only %d/1000 negative after deletion", neg)
+	}
+	if f.Overflowed() != 0 {
+		t.Fatal("unexpected overflow at this load")
+	}
+}
+
+func TestScalableBloomPublic(t *testing.T) {
+	f, err := NewScalableBloom(500, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.NewMT19937(2)
+	keys := make([]uint32, 10000)
+	for i := range keys {
+		keys[i] = r.Uint32()
+		if err := f.Insert(keys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Stages() < 3 {
+		t.Fatalf("no growth: %d stages", f.Stages())
+	}
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatal("false negative across stages")
+		}
+	}
+	if f.FPR(0) > 0.01 {
+		t.Fatalf("compound FPR %.4f above target", f.FPR(0))
+	}
+	if f.Count() != 10000 {
+		t.Fatalf("Count=%d", f.Count())
+	}
+}
+
+func TestMarshalRoundTripBloom(t *testing.T) {
+	f, _ := NewCacheSectorizedBloom(8, 2, 1<<14)
+	r := rng.NewMT19937(3)
+	keys := make([]uint32, 300)
+	for i := range keys {
+		keys[i] = r.Uint32()
+		f.Insert(keys[i])
+	}
+	data, err := Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != f.String() || back.SizeBits() != f.SizeBits() {
+		t.Fatalf("metadata changed: %s vs %s", back, f)
+	}
+	for _, k := range keys {
+		if !back.Contains(k) {
+			t.Fatal("false negative after round trip")
+		}
+	}
+}
+
+func TestMarshalRoundTripCuckoo(t *testing.T) {
+	f, err := NewCuckoo(16, 2, CuckooSizeForKeys(16, 2, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 1000; i++ {
+		if err := f.Insert(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, ok := back.(*CuckooFilter)
+	if !ok {
+		t.Fatalf("deserialized to %T", back)
+	}
+	if cf.Count() != 1000 {
+		t.Fatalf("count %d after round trip", cf.Count())
+	}
+	for i := uint32(0); i < 1000; i++ {
+		if !cf.Contains(i) {
+			t.Fatal("false negative after round trip")
+		}
+	}
+	if !cf.Delete(5) {
+		t.Fatal("delete after round trip failed")
+	}
+}
+
+func TestMarshalUnsupported(t *testing.T) {
+	if _, err := Marshal(NewExact(10)); err == nil {
+		t.Fatal("exact set should not claim to serialize")
+	}
+	if _, err := Unmarshal([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestHash64Distribution(t *testing.T) {
+	seen := map[uint32]bool{}
+	for i := uint64(0); i < 10000; i++ {
+		seen[Hash64(i)] = true
+	}
+	if len(seen) < 9990 {
+		t.Fatalf("Hash64 collides too much: %d distinct", len(seen))
+	}
+	f, _ := NewRegisterBlockedBloom(4, 1<<14)
+	for i := uint64(0); i < 1000; i++ {
+		f.Insert(Hash64(i << 32)) // keys differing only in high bits
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if !f.Contains(Hash64(i << 32)) {
+			t.Fatal("wide-key workflow broken")
+		}
+	}
+}
+
+func TestHashString(t *testing.T) {
+	a, b := HashString("hello"), HashString("hellp")
+	if a == b {
+		t.Fatal("adjacent strings collide")
+	}
+	if HashString("hello") != a {
+		t.Fatal("not deterministic")
+	}
+	seen := map[uint32]bool{}
+	for i := 0; i < 5000; i++ {
+		seen[HashString(string(rune('a'+i%26))+string(rune('0'+i%10))+string(rune(i)))] = true
+	}
+	if len(seen) < 4000 {
+		t.Fatalf("HashString collides too much: %d distinct", len(seen))
+	}
+}

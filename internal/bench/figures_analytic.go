@@ -1,0 +1,423 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"perfilter/internal/fpr"
+	"perfilter/internal/model"
+)
+
+// Fig3OverheadCurve reproduces Figure 3: the overhead ρ as a function of
+// the filter size m for a fixed configuration, problem size and tw. The
+// curve is U-shaped: too small → false positives dominate; too large →
+// lookups miss cache.
+func Fig3OverheadCurve(cfg model.Config, n uint64, tw float64, cost model.CostModel) Series {
+	s := Series{
+		Name:   fmt.Sprintf("rho(%s, n=%d, tw=%g)", cfg, n, tw),
+		XLabel: "bits-per-key",
+		YLabel: "overhead-cycles",
+	}
+	for bpk := 2.0; bpk <= 64; bpk *= math.Pow(2, 0.125) {
+		m := cfg.ActualBits(uint64(bpk * float64(n)))
+		f := cfg.FPR(m, n)
+		tl := cost.LookupCycles(cfg, m)
+		s.X = append(s.X, float64(m)/float64(n))
+		s.Y = append(s.Y, model.Overhead(tl, f, tw))
+	}
+	return s
+}
+
+// Fig4BlockingImpact reproduces Figure 4a: false-positive rate vs
+// bits-per-key for the classic filter and blocked filters with B ∈
+// {32, 64, 512}, each at its optimal k.
+func Fig4BlockingImpact() []Series {
+	bpks := seq(4, 20, 0.5)
+	mk := func(name string, f func(bpk float64) float64) Series {
+		s := Series{Name: name, XLabel: "bits-per-key", YLabel: "fpr"}
+		for _, bpk := range bpks {
+			s.X = append(s.X, bpk)
+			s.Y = append(s.Y, f(bpk))
+		}
+		return s
+	}
+	const scale = 1 << 20 // evaluate classic at scale to avoid small-m bias
+	return []Series{
+		mk("classic", func(bpk float64) float64 {
+			return fpr.Std(bpk*scale, scale, fpr.OptimalKStd(bpk))
+		}),
+		mk("blocked32", func(bpk float64) float64 {
+			return fpr.Blocked(bpk, 1, fpr.OptimalKBlocked(bpk, 32), 32)
+		}),
+		mk("blocked64", func(bpk float64) float64 {
+			return fpr.Blocked(bpk, 1, fpr.OptimalKBlocked(bpk, 64), 64)
+		}),
+		mk("blocked512", func(bpk float64) float64 {
+			return fpr.Blocked(bpk, 1, fpr.OptimalKBlocked(bpk, 512), 512)
+		}),
+	}
+}
+
+// Fig4OptimalK reproduces Figure 4b: the optimal k per bits-per-key rate.
+func Fig4OptimalK() []Series {
+	bpks := seq(4, 20, 0.5)
+	mk := func(name string, f func(bpk float64) uint32) Series {
+		s := Series{Name: name, XLabel: "bits-per-key", YLabel: "optimal-k"}
+		for _, bpk := range bpks {
+			s.X = append(s.X, bpk)
+			s.Y = append(s.Y, float64(f(bpk)))
+		}
+		return s
+	}
+	return []Series{
+		mk("classic", fpr.OptimalKStd),
+		mk("blocked32", func(b float64) uint32 { return fpr.OptimalKBlocked(b, 32) }),
+		mk("blocked64", func(b float64) uint32 { return fpr.OptimalKBlocked(b, 64) }),
+		mk("blocked512", func(b float64) uint32 { return fpr.OptimalKBlocked(b, 512) }),
+	}
+}
+
+// Fig7SectorizationFPR reproduces Figure 7: FPR of sectorized vs
+// cache-sectorized blocks at k=8, alongside the register-blocked and plain
+// blocked references (dashed lines in the paper).
+func Fig7SectorizationFPR() []Series {
+	bpks := seq(8, 20, 0.5)
+	mk := func(name string, f func(bpk float64) float64) Series {
+		s := Series{Name: name, XLabel: "bits-per-key", YLabel: "fpr"}
+		for _, bpk := range bpks {
+			s.X = append(s.X, bpk)
+			s.Y = append(s.Y, f(bpk))
+		}
+		return s
+	}
+	return []Series{
+		// 4 words accessed, bits spread over a 512-bit line.
+		mk("cache-sectorized-z4", func(b float64) float64 {
+			return fpr.CacheSectorized(b, 1, 8, 512, 64, 4)
+		}),
+		// 2 words accessed, same spread.
+		mk("cache-sectorized-z2", func(b float64) float64 {
+			return fpr.CacheSectorized(b, 1, 8, 512, 64, 2)
+		}),
+		// 4 words accessed, bits confined to a 256-bit block.
+		mk("sectorized", func(b float64) float64 {
+			return fpr.Sectorized(b, 1, 8, 256, 64)
+		}),
+		mk("register-blocked", func(b float64) float64 {
+			return fpr.Blocked(b, 1, 8, 32)
+		}),
+		mk("blocked", func(b float64) float64 {
+			return fpr.Blocked(b, 1, 8, 512)
+		}),
+	}
+}
+
+// Fig8CuckooFPR reproduces Figure 8: cuckoo FPR vs bits-per-key for
+// (a) signature lengths at b=4 and (b) bucket sizes at l=8.
+func Fig8CuckooFPR() []Series {
+	bpks := seq(10, 20, 0.5)
+	mk := func(name string, l, b uint32) Series {
+		s := Series{Name: name, XLabel: "bits-per-key", YLabel: "fpr"}
+		for _, bpk := range bpks {
+			s.X = append(s.X, bpk)
+			s.Y = append(s.Y, fpr.CuckooFromSize(bpk, 1, l, b))
+		}
+		return s
+	}
+	return []Series{
+		mk("l8-b4", 8, 4), mk("l12-b4", 12, 4), mk("l16-b4", 16, 4),
+		mk("l8-b2", 8, 2), mk("l8-b8", 8, 8),
+	}
+}
+
+// Fig10Skylines reproduces Figure 10: the Bloom-vs-Cuckoo type map on all
+// four Table 1 platforms (or any cost models passed in).
+func Fig10Skylines(models []model.CostModel, full bool) string {
+	grid := model.DefaultGrid(full)
+	configs := model.DefaultConfigs(full)
+	opts := model.DefaultSweepOpts()
+	var b strings.Builder
+	for _, cm := range models {
+		sky := model.ComputeSkyline(grid, configs, cm, opts)
+		b.WriteString(sky.RenderTypeMap())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig11SpeedupAndFPR reproduces Figure 11: per-cell speedup of the winner
+// over the losing family (a) and the winner's false-positive rate (b),
+// both rendered as coarse ASCII maps.
+func Fig11SpeedupAndFPR(cm model.CostModel, full bool) string {
+	grid := model.DefaultGrid(full)
+	sky := model.ComputeSkyline(grid, model.DefaultConfigs(full), cm, model.DefaultSweepOpts())
+	var b strings.Builder
+	b.WriteString("speedup of best filter over its counterpart (Fig. 11a):\n")
+	b.WriteString(renderMap(sky, func(c model.Cell) byte {
+		s := c.Speedup()
+		switch {
+		case s < 1.05:
+			return '.'
+		case s < 1.25:
+			return '1'
+		case s < 1.5:
+			return '2'
+		case s < 2:
+			return '3'
+		case s < 3:
+			return '4'
+		case s < 5:
+			return '5'
+		default:
+			return '+'
+		}
+	}))
+	b.WriteString("\nfalse-positive rate of the winning filter (Fig. 11b):\n")
+	b.WriteString(renderMap(sky, func(c model.Cell) byte {
+		_, best := c.Winner(model.KindBlockedBloom, model.KindCuckoo)
+		switch {
+		case math.IsInf(best.Rho, 1):
+			return ' '
+		case best.F < 1e-4:
+			return '5'
+		case best.F < 1e-3:
+			return '4'
+		case best.F < 1e-2:
+			return '3'
+		case best.F < 1e-1:
+			return '2'
+		default:
+			return '1'
+		}
+	}))
+	b.WriteString("legend 11b: 5: f<1e-4  4: <1e-3  3: <1e-2  2: <1e-1  1: >=1e-1\n")
+	return b.String()
+}
+
+// Fig12BloomFacets reproduces Figure 12: facet maps of the winning Bloom
+// configuration (variant, block size, sector count, z, k, modulo, size
+// class).
+func Fig12BloomFacets(cm model.CostModel, caches [3]uint64, full bool) string {
+	grid := model.DefaultGrid(full)
+	sky := model.ComputeSkyline(grid, model.DefaultConfigs(full), cm, model.DefaultSweepOpts())
+	bloomBest := func(c model.Cell) (model.Best, bool) {
+		b := c.ByKind[model.KindBlockedBloom]
+		return b, !math.IsInf(b.Rho, 1)
+	}
+	var b strings.Builder
+	facet := func(title, legend string, f func(model.Best) byte) {
+		fmt.Fprintf(&b, "%s:\n", title)
+		b.WriteString(renderMap(sky, func(c model.Cell) byte {
+			best, ok := bloomBest(c)
+			if !ok {
+				return ' '
+			}
+			return f(best)
+		}))
+		fmt.Fprintf(&b, "legend: %s\n\n", legend)
+	}
+	facet("Bloom variant (Fig. 12a)", "R register-blocked, B blocked, S sectorized, C cache-sectorized",
+		func(best model.Best) byte {
+			switch best.Config.Bloom.Variant().String() {
+			case "register-blocked":
+				return 'R'
+			case "blocked":
+				return 'B'
+			case "sectorized":
+				return 'S'
+			default:
+				return 'C'
+			}
+		})
+	facet("block size bytes (Fig. 12b)", "4/8/16/32/64 bytes → 4,8,g,h,j",
+		func(best model.Best) byte {
+			switch best.Config.Bloom.BlockBits {
+			case 32:
+				return '4'
+			case 64:
+				return '8'
+			case 128:
+				return 'g'
+			case 256:
+				return 'h'
+			default:
+				return 'j'
+			}
+		})
+	facet("sector count (Fig. 12c)", "1,2,4,8,g=16",
+		func(best model.Best) byte { return countChar(best.Config.Bloom.Sectors()) })
+	facet("cache-sectorization z (Fig. 12d)", "1,2,4,8",
+		func(best model.Best) byte { return countChar(best.Config.Bloom.Z) })
+	facet("hash functions k (Fig. 12e)", "1..9, g=10+",
+		func(best model.Best) byte { return countDigit(best.Config.Bloom.K) })
+	facet("modulo (Fig. 12f)", "P pow2, M magic",
+		func(best model.Best) byte {
+			if best.Config.Bloom.Magic {
+				return 'M'
+			}
+			return 'P'
+		})
+	facet("filter size class (Fig. 12g)", "1 ≤L1, 2 ≤L2, 3 ≤L3, 4 larger",
+		func(best model.Best) byte { return sizeClass(best.MBits/8, caches) })
+	return b.String()
+}
+
+// Fig13CuckooFacets reproduces Figure 13: facet maps of the winning Cuckoo
+// configuration (signature length, bucket size, modulo, size class).
+func Fig13CuckooFacets(cm model.CostModel, caches [3]uint64, full bool) string {
+	grid := model.DefaultGrid(full)
+	sky := model.ComputeSkyline(grid, model.DefaultConfigs(full), cm, model.DefaultSweepOpts())
+	var b strings.Builder
+	facet := func(title, legend string, f func(model.Best) byte) {
+		fmt.Fprintf(&b, "%s:\n", title)
+		b.WriteString(renderMap(sky, func(c model.Cell) byte {
+			best := c.ByKind[model.KindCuckoo]
+			if math.IsInf(best.Rho, 1) {
+				return ' '
+			}
+			return f(best)
+		}))
+		fmt.Fprintf(&b, "legend: %s\n\n", legend)
+	}
+	facet("signature bits (Fig. 13a)", "4,8,c=12,g=16,w=32",
+		func(best model.Best) byte {
+			switch best.Config.Cuckoo.TagBits {
+			case 4:
+				return '4'
+			case 8:
+				return '8'
+			case 12:
+				return 'c'
+			case 16:
+				return 'g'
+			default:
+				return 'w'
+			}
+		})
+	facet("bucket size (Fig. 13b)", "1,2,4,8",
+		func(best model.Best) byte { return countChar(best.Config.Cuckoo.BucketSize) })
+	facet("modulo (Fig. 13c)", "P pow2, M magic",
+		func(best model.Best) byte {
+			if best.Config.Cuckoo.Magic {
+				return 'M'
+			}
+			return 'P'
+		})
+	facet("filter size class (Fig. 13d)", "1 ≤L1, 2 ≤L2, 3 ≤L3, 4 larger",
+		func(best model.Best) byte { return sizeClass(best.MBits/8, caches) })
+	return b.String()
+}
+
+// Fig1Summary reproduces the conceptual Figure 1: the winner map including
+// the exact-structure region (bounded by an L3-resident footprint).
+func Fig1Summary(cm model.CostModel, l3Bytes uint64, full bool) string {
+	grid := model.DefaultGrid(full)
+	opts := model.DefaultSweepOpts()
+	opts.MaxExactBytes = l3Bytes
+	sky := model.ComputeSkyline(grid, model.DefaultConfigs(full), cm, opts)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 1 winner map (%s): B bloom, C cuckoo, E exact; rows n (top=large), cols tw\n", cm.Name())
+	b.WriteString(renderMap(sky, func(c model.Cell) byte {
+		kind, best := c.Winner()
+		if math.IsInf(best.Rho, 1) {
+			return '.'
+		}
+		switch kind {
+		case model.KindBlockedBloom:
+			return 'B'
+		case model.KindCuckoo:
+			return 'C'
+		case model.KindExact:
+			return 'E'
+		default:
+			return 'x'
+		}
+	}))
+	return b.String()
+}
+
+// renderMap draws one character per (n, tw) cell, rows descending in n.
+func renderMap(sky *model.Skyline, cell func(model.Cell) byte) string {
+	var b strings.Builder
+	for ni := len(sky.Grid.Ns) - 1; ni >= 0; ni-- {
+		row := make([]byte, len(sky.Grid.Tws))
+		for ti := range sky.Grid.Tws {
+			row[ti] = cell(sky.Cells[ni][ti])
+		}
+		fmt.Fprintf(&b, "n=%-10d %s\n", sky.Grid.Ns[ni], string(row))
+	}
+	return b.String()
+}
+
+func countChar(x uint32) byte {
+	switch {
+	case x <= 9:
+		return byte('0' + x)
+	case x == 16:
+		return 'g'
+	default:
+		return '+'
+	}
+}
+
+func countDigit(x uint32) byte {
+	if x <= 9 {
+		return byte('0' + x)
+	}
+	return 'g'
+}
+
+func sizeClass(bytes uint64, caches [3]uint64) byte {
+	switch {
+	case bytes <= caches[0]:
+		return '1'
+	case bytes <= caches[1]:
+		return '2'
+	case caches[2] > 0 && bytes <= caches[2]:
+		return '3'
+	default:
+		return '4'
+	}
+}
+
+func seq(from, to, step float64) []float64 {
+	var out []float64
+	for x := from; x <= to+1e-9; x += step {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Table1Platforms renders the paper's Table 1 presets next to the host.
+func Table1Platforms() string {
+	var b strings.Builder
+	b.WriteString("platform             L1      L2      L3      SIMD  GHz   threads\n")
+	for _, m := range model.Presets() {
+		fmt.Fprintf(&b, "%-20s %-7s %-7s %-7s %-5d %-5.1f %d\n",
+			m.MachineName, kib(m.L1), kib(m.L2), kib(m.L3),
+			m.SIMDBits, m.GHz, m.Threads)
+	}
+	h := host()
+	fmt.Fprintf(&b, "%-20s %-7s %-7s %-7s %-5s %-5.1f %d (measured host)\n",
+		trunc(h.Name, 20), kib(h.L1), kib(h.L2), kib(h.L3), "-", h.CyclesPerNs, h.Cores)
+	return b.String()
+}
+
+func kib(b uint64) string {
+	switch {
+	case b == 0:
+		return "-"
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMiB", b>>20)
+	default:
+		return fmt.Sprintf("%dKiB", b>>10)
+	}
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

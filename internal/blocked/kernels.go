@@ -1,0 +1,320 @@
+package blocked
+
+import (
+	"perfilter/internal/core"
+	"perfilter/internal/hashing"
+	"perfilter/internal/rng"
+	"perfilter/internal/simd"
+)
+
+// batchUnroll is the software-pipeline width of the batch kernels: hashes
+// and block addresses for this many keys are computed before the
+// corresponding words are loaded and tested, mirroring the paper's
+// one-key-per-SIMD-lane GATHER kernels (§5.1, see package simd).
+const batchUnroll = simd.Width
+
+// ContainsBatch appends to sel the positions of the keys that may be
+// contained and returns the extended selection vector. The kernel is
+// selected once per batch (the paper compiles one branch-free function per
+// configuration; we hoist the dispatch out of the loop instead). Results
+// are bit-identical to calling Contains per key.
+//
+// len(keys) must fit in a uint32 position; callers batch at vector
+// granularity (core.DefaultBatch) in practice.
+func (f *Filter[W]) ContainsBatch(keys []core.Key, sel core.SelVec) core.SelVec {
+	buf, cnt := growSel(sel, len(keys))
+	switch {
+	case f.params.Variant() == RegisterBlocked:
+		cnt = f.batchRegister(keys, buf, cnt)
+	case f.params.SectorBits == f.wordBits && f.secPerGroup > 1:
+		cnt = f.batchCacheSectorized(keys, buf, cnt)
+	case f.params.SectorBits == f.wordBits && f.secPerGroup == 1:
+		cnt = f.batchSectorized(keys, buf, cnt)
+	default:
+		cnt = f.batchGeneric(keys, buf, cnt)
+	}
+	return buf[:cnt]
+}
+
+// growSel is simd.GrowSel under a local name for the kernels below.
+func growSel(sel core.SelVec, add int) (core.SelVec, int) {
+	return simd.GrowSel(sel, add)
+}
+
+// batchRegister is the register-blocked kernel (Listing 2): one word load
+// and one comparison per key. The pipeline phase computes batchUnroll block
+// addresses and search masks, then the gather phase loads and tests.
+func (f *Filter[W]) batchRegister(keys []core.Key, out []uint32, cnt int) int {
+	// Hoist every per-config constant into locals: the paper compiles one
+	// branch-free function per configuration; hoisting gives the Go
+	// compiler the same freedom (no reloads across the hw writes).
+	var (
+		n        = len(keys)
+		kpg      = f.kPerGroup
+		fpc      = f.fieldsPerChunk
+		cpg      = f.chunksPerGroup
+		l2s      = f.log2Sector
+		secMask  = f.sectorMask
+		chkMask  = f.chunkMask
+		wb       = f.wordBits - 1
+		bLoc     = f.blockLoc
+		chunks   = f.chunkLoc[0]
+		useMagic = f.params.Magic
+		dv       = f.dv
+		bMask    = f.blockMask
+		planW    = f.planWords
+		hw       [6]uint64
+		idx      [batchUnroll]uint32
+		mask     [batchUnroll]W
+	)
+	i := 0
+	for ; i+batchUnroll <= n; i += batchUnroll {
+		for l := 0; l < batchUnroll; l++ {
+			key := keys[i+l]
+			hw[0] = hashing.Mult64(key)
+			for w := uint32(1); w < planW; w++ {
+				hw[w] = rng.Mix64(uint64(key) + uint64(w)*hashing.Golden64)
+			}
+			h := uint32(hw[bLoc.word] >> bLoc.shift)
+			if useMagic {
+				idx[l] = dv.Mod(h)
+			} else {
+				idx[l] = h & bMask
+			}
+			var m W
+			fi := uint32(0)
+			for c := uint32(0); c < cpg; c++ {
+				cl := chunks[c]
+				chunk := uint32(hw[cl.word]>>cl.shift) & chkMask
+				top := fpc
+				if rem := kpg - fi; top > rem {
+					top = rem
+				}
+				sh := (fpc - 1) * l2s
+				for j := uint32(0); j < top; j++ {
+					m |= W(1) << (chunk >> sh & secMask & wb)
+					sh -= l2s
+				}
+				fi += top
+			}
+			mask[l] = m
+		}
+		for l := 0; l < batchUnroll; l++ {
+			w := f.words[idx[l]]
+			out[cnt] = uint32(i + l)
+			var inc int
+			if w&mask[l] == mask[l] {
+				inc = 1
+			}
+			cnt += inc
+		}
+	}
+	for ; i < n; i++ {
+		out[cnt] = uint32(i)
+		var inc int
+		if f.Contains(keys[i]) {
+			inc = 1
+		}
+		cnt += inc
+	}
+	return cnt
+}
+
+// batchCacheSectorized is the cache-sectorized kernel for word-sized
+// sectors: per key, z words of one cache line are gathered and tested. The
+// hash-bit consumption order matches Insert exactly (per group: sector
+// select, then k/z bit positions).
+func (f *Filter[W]) batchCacheSectorized(keys []core.Key, out []uint32, cnt int) int {
+	var (
+		wpb      = uint64(f.wordsPerBlock)
+		g        = f.secPerGroup
+		z        = f.groups
+		n        = len(keys)
+		kpg      = f.kPerGroup
+		fpc      = f.fieldsPerChunk
+		cpg      = f.chunksPerGroup
+		l2s      = f.log2Sector
+		secMask  = f.sectorMask
+		gMask    = f.groupMask
+		chkMask  = f.chunkMask
+		wb       = f.wordBits - 1
+		bLoc     = f.blockLoc
+		secLoc   = f.secLoc
+		chunkLoc = f.chunkLoc
+		useMagic = f.params.Magic
+		dv       = f.dv
+		bMask    = f.blockMask
+		planW    = f.planWords
+		hw       [6]uint64
+		widx     [batchUnroll][8]uint64 // cache-sectorized has z < s ≤ 16 ⇒ z ≤ 8
+		mask     [batchUnroll][8]W
+	)
+	i := 0
+	for ; i+batchUnroll <= n; i += batchUnroll {
+		for l := 0; l < batchUnroll; l++ {
+			key := keys[i+l]
+			hw[0] = hashing.Mult64(key)
+			for w := uint32(1); w < planW; w++ {
+				hw[w] = rng.Mix64(uint64(key) + uint64(w)*hashing.Golden64)
+			}
+			h := uint32(hw[bLoc.word] >> bLoc.shift)
+			var block uint32
+			if useMagic {
+				block = dv.Mod(h)
+			} else {
+				block = h & bMask
+			}
+			base := uint64(block) * wpb
+			for gi := uint32(0); gi < z; gi++ {
+				sl := secLoc[gi]
+				sector := uint32(hw[sl.word]>>sl.shift) & gMask
+				var m W
+				fi := uint32(0)
+				for c := uint32(0); c < cpg; c++ {
+					cl := chunkLoc[gi][c]
+					chunk := uint32(hw[cl.word]>>cl.shift) & chkMask
+					top := fpc
+					if rem := kpg - fi; top > rem {
+						top = rem
+					}
+					sh := (fpc - 1) * l2s
+					for j := uint32(0); j < top; j++ {
+						m |= W(1) << (chunk >> sh & secMask & wb)
+						sh -= l2s
+					}
+					fi += top
+				}
+				widx[l][gi] = base + uint64(gi*g+sector)
+				mask[l][gi] = m
+			}
+		}
+		for l := 0; l < batchUnroll; l++ {
+			var missing W
+			for gi := uint32(0); gi < z; gi++ {
+				w := f.words[widx[l][gi]]
+				m := mask[l][gi]
+				missing |= w&m ^ m
+			}
+			out[cnt] = uint32(i + l)
+			var inc int
+			if missing == 0 {
+				inc = 1
+			}
+			cnt += inc
+		}
+	}
+	for ; i < n; i++ {
+		out[cnt] = uint32(i)
+		var inc int
+		if f.Contains(keys[i]) {
+			inc = 1
+		}
+		cnt += inc
+	}
+	return cnt
+}
+
+// batchSectorized is the fully sectorized kernel (z == s, word-sized
+// sectors): the s words of the block are read sequentially, each tested
+// against a k/s-bit mask.
+func (f *Filter[W]) batchSectorized(keys []core.Key, out []uint32, cnt int) int {
+	var (
+		wpb      = uint64(f.wordsPerBlock)
+		s        = f.sectors
+		kpg      = f.kPerGroup
+		fpc      = f.fieldsPerChunk
+		cpg      = f.chunksPerGroup
+		l2s      = f.log2Sector
+		secMask  = f.sectorMask
+		chkMask  = f.chunkMask
+		wb       = f.wordBits - 1
+		bLoc     = f.blockLoc
+		chunkLoc = f.chunkLoc
+		useMagic = f.params.Magic
+		dv       = f.dv
+		bMask    = f.blockMask
+		planW    = f.planWords
+		hw       [6]uint64
+	)
+	for i, key := range keys {
+		hw[0] = hashing.Mult64(key)
+		for w := uint32(1); w < planW; w++ {
+			hw[w] = rng.Mix64(uint64(key) + uint64(w)*hashing.Golden64)
+		}
+		h := uint32(hw[bLoc.word] >> bLoc.shift)
+		var block uint32
+		if useMagic {
+			block = dv.Mod(h)
+		} else {
+			block = h & bMask
+		}
+		base := uint64(block) * wpb
+		var missing W
+		for si := uint32(0); si < s; si++ {
+			var m W
+			fi := uint32(0)
+			for c := uint32(0); c < cpg; c++ {
+				cl := chunkLoc[si][c]
+				chunk := uint32(hw[cl.word]>>cl.shift) & chkMask
+				top := fpc
+				if rem := kpg - fi; top > rem {
+					top = rem
+				}
+				sh := (fpc - 1) * l2s
+				for j := uint32(0); j < top; j++ {
+					m |= W(1) << (chunk >> sh & secMask & wb)
+					sh -= l2s
+				}
+				fi += top
+			}
+			w := f.words[base+uint64(si)]
+			missing |= w&m ^ m
+		}
+		out[cnt] = uint32(i)
+		var inc int
+		if missing == 0 {
+			inc = 1
+		}
+		cnt += inc
+	}
+	return cnt
+}
+
+// batchGeneric covers plain-blocked and sub-word-sector configurations
+// with a branch-free bit walk (Listing 1): all k bits are tested with no
+// early exit, matching the paper's SIMD kernels where positive and negative
+// probes cost the same (t+l == t−l, §2). Results are identical to the
+// short-circuiting scalar path.
+func (f *Filter[W]) batchGeneric(keys []core.Key, out []uint32, cnt int) int {
+	var (
+		wpb = uint64(f.wordsPerBlock)
+		z   = f.groups
+		l2s = f.log2Sector
+		l2w = f.log2Word
+		wb  = f.wordBits - 1
+		hw  [6]uint64
+	)
+	var pos [16]uint32
+	for i, key := range keys {
+		f.hashWords(key, &hw)
+		base := uint64(f.planBlockIndex(&hw)) * wpb
+		missing := W(0)
+		for g := uint32(0); g < z; g++ {
+			sector, nf := f.planGroupPositions(&hw, g, &pos)
+			startBit := (g*f.secPerGroup + sector) << l2s
+			for j := uint32(0); j < nf; j++ {
+				p := startBit + pos[j]
+				word := f.words[base+uint64(p>>l2w)]
+				// Accumulate "bit absent" without branching.
+				missing |= ^word >> (p & wb) & 1
+			}
+		}
+		out[cnt] = uint32(i)
+		var inc int
+		if missing == 0 {
+			inc = 1
+		}
+		cnt += inc
+	}
+	return cnt
+}

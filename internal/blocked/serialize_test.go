@@ -1,0 +1,101 @@
+package blocked
+
+import (
+	"testing"
+
+	"perfilter/internal/rng"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	for _, p := range []Params{
+		RegisterBlockedParams(32, 4, false),
+		RegisterBlockedParams(64, 5, true),
+		CacheSectorizedParams(64, 512, 2, 8, true),
+		SectorizedParams(32, 512, 16, false),
+		PlainBlockedParams(64, 512, 8, true),
+	} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			f, err := New(p, 1<<15)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rng.NewMT19937(1)
+			keys := make([]uint32, 1000)
+			for i := range keys {
+				keys[i] = r.Uint32()
+				f.Insert(keys[i])
+			}
+			data, err := f.(interface{ MarshalBinary() ([]byte, error) }).MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := Unmarshal(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Params() != p || back.SizeBits() != f.SizeBits() {
+				t.Fatal("metadata changed in round trip")
+			}
+			// Identical answers on inserted keys and on random probes.
+			for _, k := range keys {
+				if !back.Contains(k) {
+					t.Fatalf("false negative after round trip (key %d)", k)
+				}
+			}
+			probe := rng.NewSplitMix64(2)
+			for i := 0; i < 5000; i++ {
+				k := probe.Uint32()
+				if back.Contains(k) != f.Contains(k) {
+					t.Fatalf("answer changed for key %d", k)
+				}
+			}
+		})
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	f, _ := New(RegisterBlockedParams(64, 4, false), 1<<12)
+	f.Insert(1)
+	data, _ := f.(interface{ MarshalBinary() ([]byte, error) }).MarshalBinary()
+
+	cases := map[string]func([]byte) []byte{
+		"truncated-header": func(d []byte) []byte { return d[:10] },
+		"bad-magic": func(d []byte) []byte {
+			c := append([]byte(nil), d...)
+			c[0] ^= 0xFF
+			return c
+		},
+		"bad-version": func(d []byte) []byte {
+			c := append([]byte(nil), d...)
+			c[4] = 99
+			return c
+		},
+		"bad-params": func(d []byte) []byte {
+			c := append([]byte(nil), d...)
+			c[6] = 17 // word bits
+			return c
+		},
+		"truncated-body": func(d []byte) []byte { return d[:len(d)-4] },
+	}
+	for name, corrupt := range cases {
+		if _, err := Unmarshal(corrupt(data)); err == nil {
+			t.Fatalf("%s: corruption accepted", name)
+		}
+	}
+}
+
+func TestSerializeEmptyFilter(t *testing.T) {
+	f, _ := New(CacheSectorizedParams(64, 512, 2, 8, false), 1<<12)
+	data, err := f.(interface{ MarshalBinary() ([]byte, error) }).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.PopCount() != 0 {
+		t.Fatal("empty filter gained bits")
+	}
+}

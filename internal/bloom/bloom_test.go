@@ -1,0 +1,185 @@
+package bloom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"perfilter/internal/rng"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	for _, p := range []Params{{K: 1}, {K: 7}, {K: 16}, {K: 7, Magic: true}} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			f, err := New(p, 1<<16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rng.NewMT19937(42)
+			keys := make([]uint32, 3000)
+			for i := range keys {
+				keys[i] = r.Uint32()
+				f.Insert(keys[i])
+			}
+			for _, k := range keys {
+				if !f.Contains(k) {
+					t.Fatalf("false negative for %d", k)
+				}
+			}
+		})
+	}
+}
+
+func TestEmptyRejectsAll(t *testing.T) {
+	f, _ := New(Params{K: 7}, 1<<14)
+	r := rng.NewSplitMix64(1)
+	for i := 0; i < 1000; i++ {
+		if f.Contains(r.Uint32()) {
+			t.Fatal("empty filter claimed containment")
+		}
+	}
+}
+
+func TestBatchMatchesScalar(t *testing.T) {
+	for _, p := range []Params{{K: 7}, {K: 7, Magic: true}} {
+		f, _ := New(p, 1<<14)
+		r := rng.NewMT19937(5)
+		for i := 0; i < 800; i++ {
+			f.Insert(r.Uint32())
+		}
+		probe := make([]uint32, 997)
+		for i := range probe {
+			probe[i] = r.Uint32()
+		}
+		sel := f.ContainsBatch(probe, nil)
+		j := 0
+		for i, k := range probe {
+			want := f.Contains(k)
+			got := j < len(sel) && sel[j] == uint32(i)
+			if got != want {
+				t.Fatalf("%s pos %d: batch=%v scalar=%v", p, i, got, want)
+			}
+			if got {
+				j++
+			}
+		}
+	}
+}
+
+func TestMeasuredFPRMatchesModel(t *testing.T) {
+	const n = 1 << 14
+	for _, p := range []Params{{K: 7}, {K: 5, Magic: true}} {
+		f, err := New(p, n*10) // 10 bits/key
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.NewMT19937(3)
+		inserted := make(map[uint32]bool, n)
+		for len(inserted) < n {
+			k := r.Uint32()
+			if !inserted[k] {
+				inserted[k] = true
+				f.Insert(k)
+			}
+		}
+		model := f.FPR(n)
+		fp, tested := 0, 0
+		for tested < 1<<17 {
+			k := r.Uint32()
+			if inserted[k] {
+				continue
+			}
+			tested++
+			if f.Contains(k) {
+				fp++
+			}
+		}
+		measured := float64(fp) / float64(tested)
+		if measured > model*1.3+0.002 || measured < model*0.7-0.002 {
+			t.Fatalf("%s: measured %.5f vs model %.5f", p, measured, model)
+		}
+	}
+}
+
+func TestMagicSizing(t *testing.T) {
+	f, err := New(Params{K: 7, Magic: true}, 1_000_003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SizeBits() < 1_000_003 || float64(f.SizeBits()) > 1_000_003*1.001 {
+		t.Fatalf("size %d far from request", f.SizeBits())
+	}
+	fp, _ := New(Params{K: 7}, 1_000_003)
+	if fp.SizeBits() != 1<<20 {
+		t.Fatalf("pow2 size %d, want 2^20", fp.SizeBits())
+	}
+}
+
+func TestSizeLimits(t *testing.T) {
+	if _, err := New(Params{K: 4}, 0); err == nil {
+		t.Fatal("accepted zero size")
+	}
+	if _, err := New(Params{K: 4}, 1<<32); err == nil {
+		t.Fatal("accepted oversized classic filter")
+	}
+	if _, err := New(Params{K: 0}, 1024); err == nil {
+		t.Fatal("accepted k=0")
+	}
+	if _, err := New(Params{K: 17}, 1024); err == nil {
+		t.Fatal("accepted k>16")
+	}
+}
+
+func TestReset(t *testing.T) {
+	f, _ := New(Params{K: 4}, 1<<12)
+	f.Insert(9)
+	f.Reset()
+	if f.Contains(9) {
+		t.Fatal("containment after reset")
+	}
+}
+
+func TestQuickProperty(t *testing.T) {
+	f, _ := New(Params{K: 6, Magic: true}, 1<<16)
+	if err := quick.Check(func(key uint32) bool {
+		f.Insert(key)
+		return f.Contains(key)
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNegativeShortCircuitCheaper documents the t−l ≪ t+l asymmetry from §2
+// by comparing probe work, not time: an almost-empty filter answers most
+// negative probes after one bit test.
+func TestNegativeShortCircuitCheaper(t *testing.T) {
+	f, _ := New(Params{K: 16}, 1<<20)
+	f.Insert(1) // nearly empty: first probed bit is almost surely 0
+	r := rng.NewSplitMix64(9)
+	neg := 0
+	for i := 0; i < 1000; i++ {
+		if !f.Contains(r.Uint32()) {
+			neg++
+		}
+	}
+	if neg < 990 {
+		t.Fatalf("expected ≈1000 early-exit negatives, got %d", neg)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	f, _ := New(Params{K: 7}, 1<<20)
+	r := rng.NewMT19937(1)
+	for i := 0; i < 1<<14; i++ {
+		f.Insert(r.Uint32())
+	}
+	probe := make([]uint32, 1024)
+	for i := range probe {
+		probe[i] = r.Uint32()
+	}
+	sel := make([]uint32, 0, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel = f.ContainsBatch(probe, sel[:0])
+	}
+}

@@ -1,0 +1,253 @@
+// Package calibrate implements the paper's one-time calibration phase (§2,
+// §5.1): microbenchmark the actual lookup cost tl of filter configurations
+// on the target platform, producing data a MeasuredModel can feed into the
+// performance-optimal filtering model in place of the analytic presets.
+//
+// Measurements run batched lookups over a mostly-negative probe mix (the
+// high-throughput scenario the paper targets), convert wall time to CPU
+// cycles with the platform's estimated cycle rate, and record one point per
+// (configuration, filter size). Results serialize to JSON so the
+// calibration can be performed once per machine (cmd/filter-calibrate) and
+// reused.
+package calibrate
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"perfilter/internal/blocked"
+	"perfilter/internal/bloom"
+	"perfilter/internal/core"
+	"perfilter/internal/cuckoo"
+	"perfilter/internal/exact"
+	"perfilter/internal/model"
+	"perfilter/internal/platform"
+	"perfilter/internal/rng"
+)
+
+// Point is one measured (configuration, size) sample.
+type Point struct {
+	Config          string  `json:"config"` // canonical Config.String()
+	MBits           uint64  `json:"m_bits"`
+	NsPerLookup     float64 `json:"ns_per_lookup"`
+	CyclesPerLookup float64 `json:"cycles_per_lookup"`
+}
+
+// Result is a complete calibration run.
+type Result struct {
+	Platform    string  `json:"platform"`
+	CyclesPerNs float64 `json:"cycles_per_ns"`
+	Batch       int     `json:"batch"`
+	Points      []Point `json:"points"`
+}
+
+// Opts controls measurement effort.
+type Opts struct {
+	// MinTime is the minimum measurement duration per point; longer gives
+	// steadier numbers.
+	MinTime time.Duration
+	// Batch is the lookup batch size (the paper's unified interface takes
+	// whole key lists).
+	Batch int
+	// LoadBitsPerKey sets how full filters are during measurement (lookup
+	// cost is load-independent for these filters, but a realistic fill
+	// exercises realistic bit patterns). Default 12.
+	LoadBitsPerKey float64
+}
+
+// DefaultOpts returns measurement settings good enough for model use.
+func DefaultOpts() Opts {
+	return Opts{MinTime: 2 * time.Millisecond, Batch: core.DefaultBatch, LoadBitsPerKey: 12}
+}
+
+// prober unifies the filters under test.
+type prober interface {
+	ContainsBatch([]core.Key, core.SelVec) core.SelVec
+}
+
+// build constructs a filter for the given model config and size, filled at
+// opts.LoadBitsPerKey.
+func build(c model.Config, mBits uint64, opts Opts) (prober, error) {
+	n := int(float64(mBits) / opts.LoadBitsPerKey)
+	if n < 1 {
+		n = 1
+	}
+	r := rng.NewMT19937(0xCA11B)
+	switch c.Kind {
+	case model.KindBlockedBloom:
+		f, err := blocked.New(c.Bloom, mBits)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			f.Insert(r.Uint32())
+		}
+		return f, nil
+	case model.KindClassicBloom:
+		f, err := bloom.New(c.Classic, mBits)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			f.Insert(r.Uint32())
+		}
+		return f, nil
+	case model.KindCuckoo:
+		f, err := cuckoo.New(c.Cuckoo, mBits)
+		if err != nil {
+			return nil, err
+		}
+		// Fill to 90% of the practical load limit or the requested load,
+		// whichever is lower; stop early if the table saturates.
+		maxN := int(0.9 * float64(f.NumBuckets()) * float64(c.Cuckoo.BucketSize))
+		if n > maxN {
+			n = maxN
+		}
+		for i := 0; i < n; i++ {
+			if err := f.Insert(r.Uint32()); err != nil {
+				break
+			}
+		}
+		return f, nil
+	case model.KindExact:
+		n := int(mBits / 64)
+		s := exact.New(n)
+		for i := 0; i < n*4/5; i++ {
+			s.Insert(r.Uint32())
+		}
+		return s, nil
+	default:
+		return nil, fmt.Errorf("calibrate: unknown kind %d", c.Kind)
+	}
+}
+
+// MeasurePoint times batched lookups for one configuration and size,
+// returning nanoseconds per lookup.
+func MeasurePoint(c model.Config, mBits uint64, opts Opts) (float64, error) {
+	f, err := build(c, mBits, opts)
+	if err != nil {
+		return 0, err
+	}
+	r := rng.NewMT19937(0xBEEF)
+	probe := make([]core.Key, opts.Batch)
+	for i := range probe {
+		probe[i] = r.Uint32()
+	}
+	sel := make(core.SelVec, 0, opts.Batch)
+
+	// Warm up: touch the filter and let the batch kernel settle.
+	sel = f.ContainsBatch(probe, sel[:0])
+
+	var lookups int64
+	start := time.Now()
+	for time.Since(start) < opts.MinTime {
+		for rep := 0; rep < 8; rep++ {
+			sel = f.ContainsBatch(probe, sel[:0])
+			lookups += int64(len(probe))
+		}
+	}
+	elapsed := time.Since(start)
+	_ = sel
+	return float64(elapsed.Nanoseconds()) / float64(lookups), nil
+}
+
+// Run measures every (config, size) combination and assembles a Result.
+func Run(configs []model.Config, sizesBits []uint64, opts Opts) (*Result, error) {
+	info := platform.Detect()
+	res := &Result{
+		Platform:    info.Name,
+		CyclesPerNs: info.CyclesPerNs,
+		Batch:       opts.Batch,
+	}
+	for _, c := range configs {
+		for _, mBits := range sizesBits {
+			actual := c.ActualBits(mBits)
+			ns, err := MeasurePoint(c, actual, opts)
+			if err != nil {
+				return nil, fmt.Errorf("calibrate %s @ %d bits: %w", c, actual, err)
+			}
+			res.Points = append(res.Points, Point{
+				Config:          c.String(),
+				MBits:           actual,
+				NsPerLookup:     ns,
+				CyclesPerLookup: ns * info.CyclesPerNs,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Marshal serializes a Result to JSON.
+func (r *Result) Marshal() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Unmarshal parses a Result from JSON.
+func Unmarshal(data []byte) (*Result, error) {
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// MeasuredModel is a model.CostModel backed by calibration data. Lookup
+// costs between measured sizes are interpolated linearly in log(size);
+// outside the measured range the nearest point is used. Configurations that
+// were not calibrated report +Inf, which makes skyline sweeps skip them —
+// calibrate the configurations you intend to sweep.
+type MeasuredModel struct {
+	name   string
+	points map[string][]Point // by config string, sorted by MBits
+}
+
+// NewMeasuredModel indexes a calibration result.
+func NewMeasuredModel(res *Result) *MeasuredModel {
+	m := &MeasuredModel{
+		name:   "measured(" + res.Platform + ")",
+		points: make(map[string][]Point),
+	}
+	for _, p := range res.Points {
+		m.points[p.Config] = append(m.points[p.Config], p)
+	}
+	for k := range m.points {
+		ps := m.points[k]
+		sort.Slice(ps, func(i, j int) bool { return ps[i].MBits < ps[j].MBits })
+	}
+	return m
+}
+
+// Name implements model.CostModel.
+func (m *MeasuredModel) Name() string { return m.name }
+
+// Configs returns the calibrated configuration names.
+func (m *MeasuredModel) Configs() []string {
+	out := make([]string, 0, len(m.points))
+	for k := range m.points {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LookupCycles implements model.CostModel.
+func (m *MeasuredModel) LookupCycles(c model.Config, mBits uint64) float64 {
+	ps, ok := m.points[c.String()]
+	if !ok || len(ps) == 0 {
+		return math.Inf(1)
+	}
+	if mBits <= ps[0].MBits {
+		return ps[0].CyclesPerLookup
+	}
+	if mBits >= ps[len(ps)-1].MBits {
+		return ps[len(ps)-1].CyclesPerLookup
+	}
+	i := sort.Search(len(ps), func(i int) bool { return ps[i].MBits >= mBits })
+	lo, hi := ps[i-1], ps[i]
+	t := (math.Log(float64(mBits)) - math.Log(float64(lo.MBits))) /
+		(math.Log(float64(hi.MBits)) - math.Log(float64(lo.MBits)))
+	return lo.CyclesPerLookup + t*(hi.CyclesPerLookup-lo.CyclesPerLookup)
+}

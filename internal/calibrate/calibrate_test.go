@@ -1,0 +1,157 @@
+package calibrate
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"perfilter/internal/blocked"
+	"perfilter/internal/bloom"
+	"perfilter/internal/cuckoo"
+	"perfilter/internal/model"
+)
+
+func quickOpts() Opts {
+	o := DefaultOpts()
+	o.MinTime = 200 * time.Microsecond
+	return o
+}
+
+func testConfigs() []model.Config {
+	// Note the cuckoo config uses magic modulo: at 16-bit signatures and
+	// b=2 the feasible load window (α ≤ 0.84) demands ≥19.05 bits per key,
+	// and power-of-two sizing cannot land inside a [19.05, 20] bits/key
+	// budget at all — the situation §5.2 introduces magic modulo for.
+	return []model.Config{
+		{Kind: model.KindBlockedBloom, Bloom: blocked.RegisterBlockedParams(64, 4, false)},
+		{Kind: model.KindCuckoo, Cuckoo: cuckoo.Params{TagBits: 16, BucketSize: 2, Magic: true}},
+	}
+}
+
+func TestRunProducesPoints(t *testing.T) {
+	sizes := []uint64{1 << 15, 1 << 18}
+	res, err := Run(testConfigs(), sizes, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("%d points, want 4", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.NsPerLookup <= 0 || p.NsPerLookup > 10000 {
+			t.Fatalf("%s @ %d: implausible %v ns/lookup", p.Config, p.MBits, p.NsPerLookup)
+		}
+		if p.CyclesPerLookup <= 0 {
+			t.Fatalf("non-positive cycles")
+		}
+	}
+	if res.CyclesPerNs <= 0 || res.Platform == "" {
+		t.Fatal("platform metadata missing")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	res := &Result{
+		Platform:    "test",
+		CyclesPerNs: 3,
+		Batch:       1024,
+		Points: []Point{
+			{Config: "a", MBits: 100, NsPerLookup: 1.5, CyclesPerLookup: 4.5},
+		},
+	}
+	data, err := res.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Platform != "test" || len(back.Points) != 1 || back.Points[0].MBits != 100 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if _, err := Unmarshal([]byte("{bad")); err == nil {
+		t.Fatal("accepted invalid JSON")
+	}
+}
+
+func TestMeasuredModelInterpolation(t *testing.T) {
+	cfg := testConfigs()[0]
+	res := &Result{
+		Platform: "synthetic", CyclesPerNs: 1, Batch: 1024,
+		Points: []Point{
+			{Config: cfg.String(), MBits: 1 << 10, CyclesPerLookup: 2},
+			{Config: cfg.String(), MBits: 1 << 20, CyclesPerLookup: 10},
+		},
+	}
+	m := NewMeasuredModel(res)
+	if got := m.LookupCycles(cfg, 1<<10); got != 2 {
+		t.Fatalf("at lower bound: %v", got)
+	}
+	if got := m.LookupCycles(cfg, 1<<20); got != 10 {
+		t.Fatalf("at upper bound: %v", got)
+	}
+	// Log-midpoint (2^15) interpolates halfway.
+	if got := m.LookupCycles(cfg, 1<<15); math.Abs(got-6) > 1e-9 {
+		t.Fatalf("midpoint: %v, want 6", got)
+	}
+	// Clamping outside the range.
+	if got := m.LookupCycles(cfg, 1); got != 2 {
+		t.Fatalf("below range: %v", got)
+	}
+	if got := m.LookupCycles(cfg, 1<<30); got != 10 {
+		t.Fatalf("above range: %v", got)
+	}
+	// Uncalibrated config → +Inf (skylines skip it).
+	other := testConfigs()[1]
+	if got := m.LookupCycles(other, 1<<15); !math.IsInf(got, 1) {
+		t.Fatalf("uncalibrated config: %v, want +Inf", got)
+	}
+	if m.Name() != "measured(synthetic)" {
+		t.Fatalf("Name() = %q", m.Name())
+	}
+	if len(m.Configs()) != 1 {
+		t.Fatal("Configs() wrong")
+	}
+}
+
+func TestMeasuredModelInSkyline(t *testing.T) {
+	// End-to-end: calibrate two configs on the host and run a tiny skyline
+	// from the measurements.
+	sizes := []uint64{1 << 14, 1 << 17, 1 << 20}
+	configs := testConfigs()
+	res, err := Run(configs, sizes, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := NewMeasuredModel(res)
+	grid := model.Grid{Ns: []uint64{4096}, Tws: []float64{16, 1 << 20}}
+	sky := model.ComputeSkyline(grid, configs, mm, model.DefaultSweepOpts())
+	// At tw=2^20 the measured cuckoo must win on precision.
+	kind, best := sky.Cells[0][1].Winner(model.KindBlockedBloom, model.KindCuckoo)
+	if math.IsInf(best.Rho, 1) {
+		t.Fatal("no feasible measured config")
+	}
+	if kind != model.KindCuckoo {
+		t.Fatalf("winner at tw=2^20 is %v; expected cuckoo on precision", kind)
+	}
+}
+
+func TestMeasurePointAllKinds(t *testing.T) {
+	opts := quickOpts()
+	kinds := []model.Config{
+		{Kind: model.KindBlockedBloom, Bloom: blocked.CacheSectorizedParams(64, 512, 2, 8, true)},
+		{Kind: model.KindClassicBloom, Classic: bloom.Params{K: 7}},
+		{Kind: model.KindCuckoo, Cuckoo: cuckoo.Params{TagBits: 8, BucketSize: 4}},
+		{Kind: model.KindExact},
+	}
+	for _, c := range kinds {
+		ns, err := MeasurePoint(c, 1<<16, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		if ns <= 0 {
+			t.Fatalf("%s: ns=%v", c, ns)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Package core holds the small set of types shared by every filter kernel:
+// the key type, selection vectors, and the batched-lookup contract.
+//
+// The paper's unified filter interface takes an entire list of keys at once
+// and produces a position list ("selection vector") of 32-bit integers
+// identifying the keys that may be contained (§5). All filters in this
+// repository implement that contract.
+package core
+
+// Key is the key type used throughout the reproduction. The paper's
+// evaluation uses uniformly distributed random 32-bit integers generated
+// with a Mersenne Twister; we keep 32-bit keys as the canonical type and
+// widen to 64 bits inside the hashing substrate.
+type Key = uint32
+
+// SelVec is a selection vector: a list of positions (indexes into a probed
+// key batch) for which the filter reported a possible match. Positions are
+// 32-bit as in the paper's implementation.
+type SelVec = []uint32
+
+// BatchProber is the batched lookup contract shared by all filters.
+//
+// ContainsBatch appends to sel the positions i (0-based within keys) for
+// which keys[i] may be in the set, and returns the extended slice. It must
+// behave exactly like calling a scalar Contains per key; property tests
+// enforce this equivalence for every kernel.
+type BatchProber interface {
+	ContainsBatch(keys []Key, sel SelVec) SelVec
+}
+
+// DefaultBatch is the batch size used by the vectorized pipelines. 1024 keys
+// of 4 bytes fit comfortably in L1 alongside a selection vector, mirroring
+// vector-at-a-time query processing.
+const DefaultBatch = 1024

@@ -1,0 +1,218 @@
+// Package counting implements a counting Bloom filter (§7 of the paper
+// cites Bonomi et al.'s construction as the classic way to give Bloom
+// filters deletions): each position holds a small saturating counter
+// instead of one bit. Insert increments the k counters, Delete decrements
+// them, Contains tests them all for non-zero.
+//
+// The layout is register-blocked in the paper's spirit: a block is a group
+// of 4-bit counters packed into 64-bit words, all k counters of a key
+// within one block, so lookups keep the one-cache-line guarantee. Counters
+// saturate at 15 and, once saturated, are never decremented (the standard
+// safety rule that preserves the no-false-negative guarantee at the cost
+// of residual bits after heavy churn).
+//
+// Memory accounting is honest: 4 bits per counter means a counting filter
+// needs 4× the memory of a register-blocked filter at the same (m, k)
+// precision — the trade the paper's related-work section points at when it
+// recommends cuckoo filters for delete-heavy workloads.
+package counting
+
+import (
+	"fmt"
+
+	"perfilter/internal/core"
+	"perfilter/internal/fpr"
+	"perfilter/internal/hashing"
+	"perfilter/internal/magic"
+	"perfilter/internal/simd"
+)
+
+// CounterBits is the width of each counter (4 bits saturating at 15, the
+// standard choice: overflow probability is negligible at practical loads).
+const CounterBits = 4
+
+// counterMax is the saturation value.
+const counterMax = 1<<CounterBits - 1
+
+// BlockCounters is the number of counters per block: 128 counters of
+// 4 bits = 512 bits = one cache line.
+const BlockCounters = 128
+
+// Params configures a counting filter.
+type Params struct {
+	// K is the number of counters touched per key, 1..fpr.MaxK.
+	K uint32
+	// Magic selects magic-modulo block addressing.
+	Magic bool
+}
+
+// Validate checks the configuration.
+func (p Params) Validate() error {
+	if p.K == 0 || p.K > fpr.MaxK {
+		return fmt.Errorf("counting: k=%d out of range [1, %d]", p.K, fpr.MaxK)
+	}
+	return nil
+}
+
+// String renders the configuration.
+func (p Params) String() string {
+	mod := "pow2"
+	if p.Magic {
+		mod = "magic"
+	}
+	return fmt.Sprintf("bloom/counting[k=%d,%s]", p.K, mod)
+}
+
+// Filter is a blocked counting Bloom filter.
+type Filter struct {
+	params     Params
+	words      []uint64 // 16 counters per word, 8 words per block
+	numBlocks  uint32
+	blockMask  uint32
+	dv         magic.Divider
+	count      uint64 // live insertions (diagnostics)
+	overflowed uint64 // counters that ever saturated
+}
+
+// wordsPerBlock is BlockCounters·CounterBits/64.
+const wordsPerBlock = BlockCounters * CounterBits / 64
+
+// New builds a filter with at least nCounters counters (each CounterBits
+// wide). The equivalent plain-Bloom size for precision math is nCounters
+// bits; memory is CounterBits× that.
+func New(p Params, nCounters uint64) (*Filter, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if nCounters == 0 {
+		return nil, fmt.Errorf("counting: size must be positive")
+	}
+	f := &Filter{params: p}
+	blocks := (nCounters + BlockCounters - 1) / BlockCounters
+	if p.Magic {
+		if blocks > 0xFFFFFFFF {
+			return nil, fmt.Errorf("counting: too many blocks")
+		}
+		f.dv = magic.Next(uint32(blocks))
+		f.numBlocks = f.dv.D()
+	} else {
+		pow := uint64(1)
+		for pow < blocks {
+			pow <<= 1
+		}
+		if pow >= 1<<32 {
+			return nil, fmt.Errorf("counting: too many blocks")
+		}
+		f.numBlocks = uint32(pow)
+		f.blockMask = uint32(pow) - 1
+	}
+	f.words = make([]uint64, uint64(f.numBlocks)*wordsPerBlock)
+	return f, nil
+}
+
+// counterPos resolves a key's i-th counter to (word index, bit shift).
+// The consumption discipline matches the register-blocked filters: one
+// 32-bit block draw, then 7-bit counter indexes (log2(128)).
+func (f *Filter) positions(key core.Key, visit func(word uint64, shift uint32)) {
+	sink := hashing.NewSink(key)
+	h := sink.Next(32)
+	var block uint32
+	if f.params.Magic {
+		block = f.dv.Mod(h)
+	} else {
+		block = h & f.blockMask
+	}
+	base := uint64(block) * wordsPerBlock
+	for i := uint32(0); i < f.params.K; i++ {
+		c := sink.Next(7) // counter index within block
+		word := base + uint64(c>>4)
+		shift := (c & 15) * CounterBits
+		visit(word, shift)
+	}
+}
+
+// Insert adds a key, incrementing its k counters (saturating).
+func (f *Filter) Insert(key core.Key) error {
+	f.positions(key, func(w uint64, sh uint32) {
+		cur := f.words[w] >> sh & counterMax
+		if cur == counterMax {
+			f.overflowed++
+			return // saturated: sticky
+		}
+		f.words[w] += 1 << sh
+	})
+	f.count++
+	return nil
+}
+
+// Contains reports whether key may be in the set.
+func (f *Filter) Contains(key core.Key) bool {
+	ok := true
+	f.positions(key, func(w uint64, sh uint32) {
+		if f.words[w]>>sh&counterMax == 0 {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// ContainsBatch implements the shared batched contract.
+func (f *Filter) ContainsBatch(keys []core.Key, sel core.SelVec) core.SelVec {
+	buf, cnt := simd.GrowSel(sel, len(keys))
+	for i, key := range keys {
+		buf[cnt] = uint32(i)
+		cnt += simd.B2I(f.Contains(key))
+	}
+	return buf[:cnt]
+}
+
+// Delete decrements the key's counters. Only delete keys that were
+// inserted: deleting absent keys can introduce false negatives for other
+// keys (the standard counting-filter caveat). Returns false without
+// mutating anything if any counter is already zero (key definitely absent).
+func (f *Filter) Delete(key core.Key) bool {
+	if !f.Contains(key) {
+		return false
+	}
+	f.positions(key, func(w uint64, sh uint32) {
+		cur := f.words[w] >> sh & counterMax
+		if cur == 0 || cur == counterMax {
+			return // absent (impossible here) or saturated: sticky
+		}
+		f.words[w] -= 1 << sh
+	})
+	f.count--
+	return true
+}
+
+// SizeBits returns the true memory footprint in bits.
+func (f *Filter) SizeBits() uint64 {
+	return uint64(f.numBlocks) * BlockCounters * CounterBits
+}
+
+// FPR returns the analytic false-positive rate: precision equals a blocked
+// Bloom filter with one bit per counter (a counter is "set" iff non-zero).
+func (f *Filter) FPR(n uint64) float64 {
+	mEquivalent := float64(f.numBlocks) * BlockCounters
+	return fpr.Blocked(mEquivalent, float64(n), f.params.K, BlockCounters)
+}
+
+// Count returns the live insertion count.
+func (f *Filter) Count() uint64 { return f.count }
+
+// Overflowed reports how many increments hit saturated counters — a
+// diagnostic for whether 4-bit counters suffice for the workload.
+func (f *Filter) Overflowed() uint64 { return f.overflowed }
+
+// Params returns the configuration.
+func (f *Filter) Params() Params { return f.params }
+
+// Reset clears the filter.
+func (f *Filter) Reset() {
+	clear(f.words)
+	f.count = 0
+	f.overflowed = 0
+}
+
+// String describes the filter.
+func (f *Filter) String() string { return f.params.String() }

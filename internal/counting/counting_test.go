@@ -1,0 +1,218 @@
+package counting
+
+import (
+	"testing"
+	"testing/quick"
+
+	"perfilter/internal/rng"
+)
+
+func TestInsertContainsDelete(t *testing.T) {
+	for _, p := range []Params{{K: 4}, {K: 7, Magic: true}} {
+		f, err := New(p, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.NewMT19937(1)
+		keys := make([]uint32, 2000)
+		for i := range keys {
+			keys[i] = r.Uint32()
+			if err := f.Insert(keys[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, k := range keys {
+			if !f.Contains(k) {
+				t.Fatalf("%s: false negative", p)
+			}
+		}
+		// Delete every key; all deletions must succeed.
+		for _, k := range keys {
+			if !f.Delete(k) {
+				t.Fatalf("%s: delete failed", p)
+			}
+		}
+		if f.Count() != 0 {
+			t.Fatalf("count %d after deleting everything", f.Count())
+		}
+		// Most probes must now be negative again (saturated counters may
+		// leave residue, but none should exist at this load).
+		neg := 0
+		probe := rng.NewSplitMix64(2)
+		for i := 0; i < 2000; i++ {
+			if !f.Contains(probe.Uint32()) {
+				neg++
+			}
+		}
+		if neg < 1990 {
+			t.Fatalf("%s: only %d/2000 negative after full deletion", p, neg)
+		}
+	}
+}
+
+func TestDeleteAbsentIsSafeNoop(t *testing.T) {
+	f, _ := New(Params{K: 4}, 1<<14)
+	f.Insert(1)
+	if f.Delete(999999) {
+		t.Fatal("deleted an absent key")
+	}
+	if !f.Contains(1) {
+		t.Fatal("unrelated key lost")
+	}
+}
+
+func TestDeletePreservesOtherKeys(t *testing.T) {
+	// Insert overlapping keys, delete half, the other half must remain.
+	f, _ := New(Params{K: 5}, 1<<15)
+	r := rng.NewMT19937(3)
+	keep := make([]uint32, 1000)
+	drop := make([]uint32, 1000)
+	for i := range keep {
+		keep[i] = r.Uint32()
+		drop[i] = r.Uint32()
+		f.Insert(keep[i])
+		f.Insert(drop[i])
+	}
+	for _, k := range drop {
+		f.Delete(k)
+	}
+	for _, k := range keep {
+		if !f.Contains(k) {
+			t.Fatal("delete of another key removed a live key")
+		}
+	}
+}
+
+func TestDuplicateInsertsNeedMatchingDeletes(t *testing.T) {
+	f, _ := New(Params{K: 4}, 1<<14)
+	for i := 0; i < 3; i++ {
+		f.Insert(42)
+	}
+	f.Delete(42)
+	f.Delete(42)
+	if !f.Contains(42) {
+		t.Fatal("key vanished before its last copy was deleted")
+	}
+	f.Delete(42)
+	if f.Contains(42) {
+		t.Fatal("key survived all its deletes")
+	}
+}
+
+func TestSaturationIsSticky(t *testing.T) {
+	f, _ := New(Params{K: 1}, 256)
+	// Hammer one key far past the counter max.
+	for i := 0; i < 100; i++ {
+		f.Insert(7)
+	}
+	if f.Overflowed() == 0 {
+		t.Fatal("expected overflow events")
+	}
+	// Deleting 100 times must not produce a false negative for a saturated
+	// counter (it stays at max).
+	for i := 0; i < 100; i++ {
+		f.Delete(7)
+	}
+	if !f.Contains(7) {
+		t.Fatal("saturated counter was decremented to zero")
+	}
+}
+
+func TestFPRMatchesBlockedModel(t *testing.T) {
+	const n = 1 << 13
+	f, _ := New(Params{K: 5}, n*12) // 12 counters/key
+	r := rng.NewMT19937(9)
+	inserted := map[uint32]bool{}
+	for len(inserted) < n {
+		k := r.Uint32()
+		if !inserted[k] {
+			inserted[k] = true
+			f.Insert(k)
+		}
+	}
+	model := f.FPR(n)
+	fp, tested := 0, 0
+	for tested < 1<<17 {
+		k := r.Uint32()
+		if inserted[k] {
+			continue
+		}
+		tested++
+		if f.Contains(k) {
+			fp++
+		}
+	}
+	measured := float64(fp) / float64(tested)
+	if measured > model*1.3+0.002 || measured < model*0.7-0.002 {
+		t.Fatalf("measured %.5f vs model %.5f", measured, model)
+	}
+}
+
+func TestBatchMatchesScalar(t *testing.T) {
+	f, _ := New(Params{K: 4, Magic: true}, 1<<14)
+	r := rng.NewMT19937(5)
+	for i := 0; i < 500; i++ {
+		f.Insert(r.Uint32())
+	}
+	probe := make([]uint32, 777)
+	for i := range probe {
+		probe[i] = r.Uint32()
+	}
+	sel := f.ContainsBatch(probe, nil)
+	j := 0
+	for i, k := range probe {
+		want := f.Contains(k)
+		got := j < len(sel) && sel[j] == uint32(i)
+		if got != want {
+			t.Fatalf("pos %d mismatch", i)
+		}
+		if got {
+			j++
+		}
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	f, _ := New(Params{K: 4}, 1000)
+	if f.SizeBits() != uint64(f.numBlocks)*BlockCounters*CounterBits {
+		t.Fatal("SizeBits wrong")
+	}
+	// 4 bits per counter: footprint is 4× the equivalent bit count.
+	if f.SizeBits() < 4*uint64(f.numBlocks)*BlockCounters/4 {
+		t.Fatal("counter width not accounted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Params{K: 0}, 100); err == nil {
+		t.Fatal("accepted k=0")
+	}
+	if _, err := New(Params{K: 17}, 100); err == nil {
+		t.Fatal("accepted k>16")
+	}
+	if _, err := New(Params{K: 4}, 0); err == nil {
+		t.Fatal("accepted zero size")
+	}
+}
+
+func TestQuickInsertDeleteInverse(t *testing.T) {
+	f, _ := New(Params{K: 4}, 1<<16)
+	if err := quick.Check(func(key uint32) bool {
+		f.Insert(key)
+		if !f.Contains(key) {
+			return false
+		}
+		return f.Delete(key)
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	f, _ := New(Params{K: 4}, 1<<12)
+	f.Insert(5)
+	f.Reset()
+	if f.Contains(5) || f.Count() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}

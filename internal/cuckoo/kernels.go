@@ -1,0 +1,136 @@
+package cuckoo
+
+import (
+	"perfilter/internal/core"
+	"perfilter/internal/simd"
+)
+
+// batchUnroll matches the blocked-Bloom kernels: per iteration the hashes
+// and bucket addresses of eight keys are computed before any table words
+// are touched — the software analogue of the paper's gather-based SIMD
+// probe (§5.1, see package simd).
+const batchUnroll = simd.Width
+
+// ContainsBatch appends the positions of possibly-contained keys to sel and
+// returns the extended selection vector. Results are identical to scalar
+// Contains. Buckets that fit in a 64-bit word with 8/16/32-bit tags use a
+// branch-free SWAR comparison ("one comparison per bucket"); other
+// configurations and filters holding a victim fall back to the scalar path.
+func (f *Filter) ContainsBatch(keys []core.Key, sel core.SelVec) core.SelVec {
+	buf, cnt := growSel(sel, len(keys))
+	if f.swarOK() && !f.hasVictim {
+		cnt = f.batchSWAR(keys, buf, cnt)
+	} else {
+		for i, key := range keys {
+			buf[cnt] = uint32(i)
+			var inc int
+			if f.Contains(key) {
+				inc = 1
+			}
+			cnt += inc
+		}
+	}
+	return buf[:cnt]
+}
+
+// swarOK reports whether the configuration supports the SWAR bucket probe:
+// the tag width must be a byte multiple (8/16/32) and a whole bucket must
+// fit in one aligned 64-bit word. The paper likewise restricts its SIMD
+// fast paths to "SIMD-friendly" 8-, 16- and 32-bit signatures.
+func (f *Filter) swarOK() bool {
+	l := f.params.TagBits
+	if l != 8 && l != 16 && l != 32 {
+		return false
+	}
+	return f.bucketBits <= 64 && 64%f.bucketBits == 0
+}
+
+// swarConsts returns the per-lane low-bit and high-bit constants for the
+// zero-lane test, truncated to the bucket width.
+func (f *Filter) swarConsts() (lo, hi, bucketMask uint64) {
+	l := f.params.TagBits
+	var loFull, hiFull uint64
+	switch l {
+	case 8:
+		loFull, hiFull = 0x0101010101010101, 0x8080808080808080
+	case 16:
+		loFull, hiFull = 0x0001000100010001, 0x8000800080008000
+	default: // 32
+		loFull, hiFull = 0x0000000100000001, 0x8000000080000000
+	}
+	if f.bucketBits == 64 {
+		return loFull, hiFull, ^uint64(0)
+	}
+	bucketMask = uint64(1)<<f.bucketBits - 1
+	return loFull & bucketMask, hiFull & bucketMask, bucketMask
+}
+
+// broadcast replicates an l-bit tag across the b lanes of a bucket word.
+func broadcast(tag uint32, l, b uint32) uint64 {
+	v := uint64(tag)
+	for i := uint32(1); i < b; i++ {
+		v |= uint64(tag) << (i * l)
+	}
+	return v
+}
+
+// loadBucket reads a whole bucket as one word; swarOK guarantees buckets
+// never straddle word boundaries.
+func (f *Filter) loadBucket(bucket uint32) uint64 {
+	bit := uint64(bucket) * uint64(f.bucketBits)
+	if f.bucketBits == 64 {
+		return f.words[bit>>6]
+	}
+	_, _, mask := f.swarConsts()
+	return f.words[bit>>6] >> (bit & 63) & mask
+}
+
+// batchSWAR is the software-SIMD probe: phase 1 computes tags and both
+// candidate bucket addresses for eight keys; phase 2 gathers the bucket
+// words and tests all slots of both buckets branch-free.
+func (f *Filter) batchSWAR(keys []core.Key, out []uint32, cnt int) int {
+	lo, hi, _ := f.swarConsts()
+	l, b := f.params.TagBits, f.params.BucketSize
+	n := len(keys)
+	i := 0
+	var (
+		bc     [batchUnroll]uint64 // broadcast tag
+		a1, a2 [batchUnroll]uint32 // candidate buckets
+	)
+	for ; i+batchUnroll <= n; i += batchUnroll {
+		for j := 0; j < batchUnroll; j++ {
+			tag, i1 := f.tagAndIndex(keys[i+j])
+			bc[j] = broadcast(tag, l, b)
+			a1[j] = i1
+			a2[j] = f.altIndex(i1, tag)
+		}
+		for j := 0; j < batchUnroll; j++ {
+			x1 := f.loadBucket(a1[j]) ^ bc[j]
+			x2 := f.loadBucket(a2[j]) ^ bc[j]
+			// Zero-lane test on both buckets at once: a lane of x is zero
+			// iff the tag matched that slot.
+			z := (x1 - lo) & ^x1 & hi
+			z |= (x2 - lo) & ^x2 & hi
+			out[cnt] = uint32(i + j)
+			var inc int
+			if z != 0 {
+				inc = 1
+			}
+			cnt += inc
+		}
+	}
+	for ; i < n; i++ {
+		out[cnt] = uint32(i)
+		var inc int
+		if f.Contains(keys[i]) {
+			inc = 1
+		}
+		cnt += inc
+	}
+	return cnt
+}
+
+// growSel is simd.GrowSel under a local name for the kernels above.
+func growSel(sel core.SelVec, add int) (core.SelVec, int) {
+	return simd.GrowSel(sel, add)
+}

@@ -1,0 +1,96 @@
+package cuckoo
+
+import (
+	"testing"
+
+	"perfilter/internal/rng"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	for _, p := range []Params{
+		{TagBits: 16, BucketSize: 2},
+		{TagBits: 12, BucketSize: 4, Magic: true},
+		{TagBits: 8, BucketSize: 4},
+	} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			f, err := New(p, 1<<15)
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys := fill(t, f, 0.4, 3)
+			data, err := f.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := Unmarshal(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Count() != f.Count() || back.SizeBits() != f.SizeBits() {
+				t.Fatal("metadata changed")
+			}
+			for _, k := range keys {
+				if !back.Contains(k) {
+					t.Fatalf("false negative after round trip")
+				}
+			}
+			probe := rng.NewSplitMix64(9)
+			for i := 0; i < 5000; i++ {
+				k := probe.Uint32()
+				if back.Contains(k) != f.Contains(k) {
+					t.Fatalf("answer changed for %d", k)
+				}
+			}
+			// Deletes still work on the deserialized filter.
+			if !back.Delete(keys[0]) {
+				t.Fatal("delete failed after round trip")
+			}
+		})
+	}
+}
+
+func TestSerializePreservesVictim(t *testing.T) {
+	p := Params{TagBits: 8, BucketSize: 1}
+	f, _ := New(p, 64*8)
+	r := rng.NewMT19937(1)
+	var inserted []uint32
+	for i := 0; i < 10000 && !f.hasVictim; i++ {
+		k := r.Uint32()
+		if f.Insert(k) != nil {
+			break
+		}
+		inserted = append(inserted, k)
+	}
+	if !f.hasVictim {
+		t.Skip("victim never engaged")
+	}
+	data, _ := f.MarshalBinary()
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range inserted {
+		if !back.Contains(k) {
+			t.Fatal("victim lost in round trip")
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	f, _ := New(Params{TagBits: 16, BucketSize: 2}, 1<<12)
+	_ = f.Insert(1)
+	data, _ := f.MarshalBinary()
+	cases := map[string]func([]byte) []byte{
+		"short":     func(d []byte) []byte { return d[:8] },
+		"magic":     func(d []byte) []byte { c := append([]byte(nil), d...); c[1] ^= 0xFF; return c },
+		"version":   func(d []byte) []byte { c := append([]byte(nil), d...); c[4] = 9; return c },
+		"params":    func(d []byte) []byte { c := append([]byte(nil), d...); c[6] = 5; return c },
+		"truncated": func(d []byte) []byte { return d[:len(d)-1] },
+	}
+	for name, corrupt := range cases {
+		if _, err := Unmarshal(corrupt(data)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}

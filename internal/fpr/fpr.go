@@ -1,0 +1,222 @@
+// Package fpr implements the paper's analytic false-positive-rate models:
+//
+//	Eq. 2  fstd     — classic Bloom filter
+//	Eq. 3  fblocked — blocked Bloom filter (Poisson mixture over block loads)
+//	Eq. 4  fsector  — sectorized blocked Bloom filter
+//	Eq. 5  fcache   — cache-sectorized blocked Bloom filter
+//	Eq. 8  fcuckoo  — cuckoo filter
+//
+// plus the optimal-k solvers behind Figure 4b. All functions are pure math
+// (no filter state); the filters and the performance model both consume
+// them.
+//
+// Numerical notes: (1−1/m)^{kn} is evaluated as exp(kn·log1p(−1/m)) so it is
+// stable for large m and n. The Poisson mixtures evaluate each probability
+// mass in log space (via math.Lgamma) so block loads with mean up to the
+// thousands neither under- nor overflow; the summation truncates once the
+// accumulated mass exceeds 1−1e−12 beyond the mean.
+//
+// Interpretation note for Eq. 5: the paper's formula prints fstd(S, j, k/s),
+// but §3.2 defines cache-sectorization as setting k/z bits in the single
+// sector selected per group, so the per-sector bit count is k/z; this
+// package implements k/z. When every group contains exactly one sector
+// (z == B/S), the sector choice is deterministic and the extra Poisson layer
+// in Eq. 5 would be spurious, so CacheSectorized falls back to Eq. 4.
+package fpr
+
+import "math"
+
+// Std is Eq. 2: the false-positive rate of a classic Bloom filter with m
+// bits, n inserted keys, and k hash functions. m must be ≥ 1. n == 0 gives
+// 0; k == 0 gives 1 (no bits are tested, every probe passes).
+func Std(m, n float64, k uint32) float64 {
+	if m < 1 {
+		panic("fpr: m must be >= 1")
+	}
+	if k == 0 {
+		return 1
+	}
+	if n <= 0 {
+		return 0
+	}
+	// 1 − (1 − 1/m)^{kn}, the probability that one probed bit is set.
+	bitSet := -math.Expm1(float64(k) * n * math.Log1p(-1/m))
+	return math.Pow(bitSet, float64(k))
+}
+
+// Blocked is Eq. 3: a blocked Bloom filter of total size m bits with block
+// size B behaves per block like a classic Bloom filter of size B whose load
+// is Poisson-distributed with mean B·n/m.
+func Blocked(m, n float64, k, blockBits uint32) float64 {
+	if blockBits == 0 {
+		panic("fpr: block size must be >= 1")
+	}
+	lambda := float64(blockBits) * n / m
+	return poissonMix(lambda, func(i float64) float64 {
+		return Std(float64(blockBits), i, k)
+	})
+}
+
+// Sectorized is Eq. 4: blocks are divided into s = B/S sectors, and each key
+// sets k/s bits in every sector. k must be a positive multiple of s.
+func Sectorized(m, n float64, k, blockBits, sectorBits uint32) float64 {
+	s := sectors(blockBits, sectorBits)
+	if k == 0 || k%s != 0 {
+		panic("fpr: k must be a positive multiple of the sector count")
+	}
+	kPerSector := k / s
+	lambda := float64(blockBits) * n / m
+	return poissonMix(lambda, func(i float64) float64 {
+		return math.Pow(Std(float64(sectorBits), i, kPerSector), float64(s))
+	})
+}
+
+// CacheSectorized is Eq. 5: sectors are grouped into z groups per block;
+// a key selects one sector in each group and sets k/z bits there. k must be
+// a positive multiple of z, z must divide the sector count, and z == s
+// degenerates to Sectorized (see the package comment).
+func CacheSectorized(m, n float64, k, blockBits, sectorBits, z uint32) float64 {
+	s := sectors(blockBits, sectorBits)
+	if z == 0 || s%z != 0 {
+		panic("fpr: z must divide the sector count")
+	}
+	if k == 0 || k%z != 0 {
+		panic("fpr: k must be a positive multiple of z")
+	}
+	if z == s {
+		return Sectorized(m, n, k, blockBits, sectorBits)
+	}
+	kPerGroup := k / z
+	lambda := float64(blockBits) * n / m
+	// Given i keys in the block, each group routes them over s/z sectors,
+	// so a sector's load is Poisson with mean i·z·S/B.
+	sectorFrac := float64(z) * float64(sectorBits) / float64(blockBits)
+	return poissonMix(lambda, func(i float64) float64 {
+		inner := poissonMix(i*sectorFrac, func(j float64) float64 {
+			return Std(float64(sectorBits), j, kPerGroup)
+		})
+		return math.Pow(inner, float64(z))
+	})
+}
+
+// Cuckoo is Eq. 8: the false-positive rate of a cuckoo filter with load
+// factor alpha, signature length l bits, and bucket size b. A negative probe
+// compares against 2b candidate slots, each matching with probability 2^-l,
+// scaled by the occupancy alpha.
+func Cuckoo(alpha float64, l, b uint32) float64 {
+	if l == 0 || l > 32 {
+		panic("fpr: signature length must be in [1,32]")
+	}
+	if b == 0 {
+		panic("fpr: bucket size must be >= 1")
+	}
+	perSlot := math.Log1p(-1 / math.Exp2(float64(l)))
+	return -math.Expm1(2 * float64(b) * alpha * perSlot)
+}
+
+// CuckooFromSize evaluates Eq. 8 for a filter of m total bits holding n
+// keys: alpha = l·n/m.
+func CuckooFromSize(m, n float64, l, b uint32) float64 {
+	return Cuckoo(float64(l)*n/m, l, b)
+}
+
+// CuckooMaxLoad returns the practical maximum load factor for partial-key
+// cuckoo hashing by bucket size, as reported in §4 of the paper (b = 2, 4, 8
+// reach 84%, 95%, 98%; b = 1 about 50%).
+func CuckooMaxLoad(b uint32) float64 {
+	switch {
+	case b <= 1:
+		return 0.50
+	case b == 2:
+		return 0.84
+	case b <= 4:
+		return 0.95
+	default:
+		return 0.98
+	}
+}
+
+// MaxK is the largest hash-function count the paper explores (k ∈ [1, 16]).
+const MaxK = 16
+
+// OptimalKStd returns argmin_k Std for a classic Bloom filter at the given
+// bits-per-key rate: the information-theoretic k = ln2 · m/n rounded to the
+// nearest positive integer (clamped to MaxK).
+func OptimalKStd(bitsPerKey float64) uint32 {
+	k := uint32(math.Round(math.Ln2 * bitsPerKey))
+	if k < 1 {
+		return 1
+	}
+	if k > MaxK {
+		return MaxK
+	}
+	return k
+}
+
+// OptimalKBlocked returns argmin_k Blocked(m,n,k,B) over k ∈ [1, MaxK] for
+// the given bits-per-key rate (Fig. 4b). Ties choose the smaller k (cheaper
+// lookups at equal precision).
+func OptimalKBlocked(bitsPerKey float64, blockBits uint32) uint32 {
+	bestK, bestF := uint32(1), math.Inf(1)
+	for k := uint32(1); k <= MaxK; k++ {
+		f := Blocked(bitsPerKey, 1, k, blockBits)
+		if f < bestF {
+			bestK, bestF = k, f
+		}
+	}
+	return bestK
+}
+
+// OptimalKSectorized returns the best k ∈ [1, MaxK] that is a multiple of
+// the sector count (Eq. 4's validity constraint), or 0 if none exists.
+func OptimalKSectorized(bitsPerKey float64, blockBits, sectorBits uint32) uint32 {
+	s := sectors(blockBits, sectorBits)
+	bestK, bestF := uint32(0), math.Inf(1)
+	for k := s; k <= MaxK; k += s {
+		f := Sectorized(bitsPerKey, 1, k, blockBits, sectorBits)
+		if f < bestF {
+			bestK, bestF = k, f
+		}
+	}
+	return bestK
+}
+
+// sectors validates the (B, S) pair and returns s = B/S.
+func sectors(blockBits, sectorBits uint32) uint32 {
+	if sectorBits == 0 || blockBits == 0 || sectorBits > blockBits ||
+		blockBits%sectorBits != 0 {
+		panic("fpr: sector size must divide block size")
+	}
+	return blockBits / sectorBits
+}
+
+// poissonMix computes Σ_i Poisson(i; λ)·f(i), truncating once the
+// accumulated probability mass exceeds 1−1e−12 past the mean. f receives the
+// load as a float for direct use in Std.
+func poissonMix(lambda float64, f func(i float64) float64) float64 {
+	if lambda <= 0 {
+		return f(0)
+	}
+	logLambda := math.Log(lambda)
+	var sum, mass float64
+	for i := 0; ; i++ {
+		p := poissonPMF(float64(i), lambda, logLambda)
+		sum += p * f(float64(i))
+		mass += p
+		if float64(i) > lambda && mass > 1-1e-12 {
+			break
+		}
+		// Hard stop far beyond any conceivable mass (λ + 40√λ + 64).
+		if float64(i) > lambda+40*math.Sqrt(lambda)+64 {
+			break
+		}
+	}
+	return sum
+}
+
+// poissonPMF evaluates the Poisson probability mass in log space so that
+// means in the thousands stay finite.
+func poissonPMF(i, lambda, logLambda float64) float64 {
+	lg, _ := math.Lgamma(i + 1)
+	return math.Exp(-lambda + i*logLambda - lg)
+}

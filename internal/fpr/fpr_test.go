@@ -1,0 +1,317 @@
+package fpr
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b)/den <= rel
+}
+
+// stdAt evaluates the classic-Bloom model at a given bits-per-key rate at
+// scale (n = 10^6), avoiding the tiny-m discretization that makes
+// Std(bpk, 1, k) pessimistic.
+func stdAt(bpk float64, k uint32) float64 {
+	const n = 1e6
+	return Std(bpk*n, n, k)
+}
+
+func TestStdTextbookPoint(t *testing.T) {
+	// The classic rule of thumb: ~10 bits/key with the optimal k≈7 gives
+	// f ≈ 1% (the paper cites exactly this point in §3.1).
+	f := stdAt(10, 7)
+	if f < 0.007 || f > 0.012 {
+		t.Fatalf("Std(10 bits/key, k=7) = %v, want ≈0.01", f)
+	}
+}
+
+func TestStdEdgeCases(t *testing.T) {
+	if Std(100, 0, 4) != 0 {
+		t.Fatal("empty filter must have f=0")
+	}
+	if Std(100, 5, 0) != 1 {
+		t.Fatal("k=0 must have f=1")
+	}
+	// Saturated filter: n >> m drives f → 1.
+	if f := Std(64, 1e6, 4); f < 0.999 {
+		t.Fatalf("saturated filter f=%v", f)
+	}
+}
+
+func TestStdMonotoneInM(t *testing.T) {
+	prev := 1.0
+	for bpk := 2.0; bpk <= 30; bpk++ {
+		f := Std(bpk, 1, 6)
+		if f > prev+1e-15 {
+			t.Fatalf("Std not monotone decreasing in m at %v bits/key", bpk)
+		}
+		prev = f
+	}
+}
+
+func TestBlockedWorseThanStd(t *testing.T) {
+	// Blocking trades precision for locality: fblocked ≥ fstd at equal
+	// m, n, k; smaller blocks are worse (Fig. 4a ordering).
+	for _, bpk := range []float64{8, 12, 16, 20} {
+		fs := stdAt(bpk, 8)
+		f512 := Blocked(bpk, 1, 8, 512)
+		f64 := Blocked(bpk, 1, 8, 64)
+		f32 := Blocked(bpk, 1, 8, 32)
+		if !(fs <= f512 && f512 <= f64 && f64 <= f32) {
+			t.Fatalf("ordering violated at %v bpk: std=%g 512=%g 64=%g 32=%g",
+				bpk, fs, f512, f64, f32)
+		}
+	}
+}
+
+func TestBlockedPaperReferencePoints(t *testing.T) {
+	// §3.1: classic Bloom needs ≈10 bits/key for f=1%; register-blocked
+	// needs ≈12 (B=64) and ≈14 (B=32).
+	cases := []struct {
+		bpk   float64
+		block uint32
+	}{
+		{12, 64},
+		{14, 32},
+	}
+	for _, c := range cases {
+		k := OptimalKBlocked(c.bpk, c.block)
+		f := Blocked(c.bpk, 1, k, c.block)
+		if f > 0.016 || f < 0.004 {
+			t.Fatalf("B=%d at %v bpk: f=%g, want ≈0.01", c.block, c.bpk, f)
+		}
+	}
+}
+
+func TestBlockedLargeBlockApproachesStd(t *testing.T) {
+	// With blocks much larger than the per-block load variance matters,
+	// fblocked(B→m) → fstd. Use a big block and compare.
+	fs := stdAt(16, 6)
+	fb := Blocked(16, 1, 6, 1<<16)
+	if !approx(fs, fb, 0.08) {
+		t.Fatalf("large-block fblocked=%g, fstd=%g", fb, fs)
+	}
+}
+
+func TestSectorizedSingleSectorEqualsBlocked(t *testing.T) {
+	// s=1 (S=B) must reproduce Eq. 3 exactly.
+	for _, k := range []uint32{1, 4, 8, 16} {
+		a := Sectorized(12, 1, k, 512, 512)
+		b := Blocked(12, 1, k, 512)
+		if !approx(a, b, 1e-12) {
+			t.Fatalf("k=%d: sectorized(s=1)=%g != blocked=%g", k, a, b)
+		}
+	}
+}
+
+func TestSectorizedWorseThanBlocked(t *testing.T) {
+	// Constraining bits to sectors can only increase f.
+	a := Sectorized(16, 1, 8, 512, 64)
+	b := Blocked(16, 1, 8, 512)
+	if a < b {
+		t.Fatalf("sectorized=%g < blocked=%g", a, b)
+	}
+}
+
+func TestCacheSectorizedBetweenSectorizedAndBlocked(t *testing.T) {
+	// Fig. 7: with the same number of accessed words, cache-sectorization
+	// spreads bits over a whole cache line and beats plain sectorization,
+	// while non-sectorized blocked remains the precision upper bound.
+	for _, bpk := range []float64{10, 12, 16, 20} {
+		// 4 words accessed: sectorized over a 4-word (256-bit) block vs
+		// cache-sectorized z=4 over a 512-bit line.
+		sector := Sectorized(bpk, 1, 8, 256, 64)
+		cache := CacheSectorized(bpk, 1, 8, 512, 64, 4)
+		blocked := Blocked(bpk, 1, 8, 512)
+		if !(cache <= sector) {
+			t.Fatalf("bpk=%v: cache-sectorized %g > sectorized %g", bpk, cache, sector)
+		}
+		if cache < blocked-1e-15 {
+			t.Fatalf("bpk=%v: cache-sectorized %g beats unconstrained blocked %g",
+				bpk, cache, blocked)
+		}
+	}
+}
+
+func TestCacheSectorizedZEqualsSFallsBack(t *testing.T) {
+	a := CacheSectorized(14, 1, 8, 512, 64, 8)
+	b := Sectorized(14, 1, 8, 512, 64)
+	if a != b {
+		t.Fatalf("z=s must equal Eq.4: %g vs %g", a, b)
+	}
+}
+
+func TestCuckooReferencePoints(t *testing.T) {
+	// §6: the minimum cuckoo f in the paper's setup is 0.00005 with l=16,
+	// b=2 (at 20 bits/key → alpha = 16/20 = 0.8).
+	f := Cuckoo(0.8, 16, 2)
+	if !approx(f, 0.00005, 0.05) {
+		t.Fatalf("Cuckoo(0.8,16,2)=%g, want ≈5e-5", f)
+	}
+	// b=1 at the same alpha: paper cites 0.000024.
+	f1 := Cuckoo(0.8, 16, 1)
+	if !approx(f1, 0.000024, 0.05) {
+		t.Fatalf("Cuckoo(0.8,16,1)=%g, want ≈2.4e-5", f1)
+	}
+}
+
+func TestCuckooMonotonicity(t *testing.T) {
+	// Longer signatures → lower f; more slots per bucket → higher f;
+	// higher load → higher f.
+	if !(Cuckoo(0.8, 16, 4) < Cuckoo(0.8, 12, 4) &&
+		Cuckoo(0.8, 12, 4) < Cuckoo(0.8, 8, 4)) {
+		t.Fatal("f not decreasing in signature length")
+	}
+	if !(Cuckoo(0.8, 8, 2) < Cuckoo(0.8, 8, 4) &&
+		Cuckoo(0.8, 8, 4) < Cuckoo(0.8, 8, 8)) {
+		t.Fatal("f not increasing in bucket size")
+	}
+	if !(Cuckoo(0.5, 12, 4) < Cuckoo(0.95, 12, 4)) {
+		t.Fatal("f not increasing in load factor")
+	}
+}
+
+func TestCuckooFromSize(t *testing.T) {
+	// 20 bits/key with l=16 → alpha 0.8.
+	a := CuckooFromSize(20, 1, 16, 2)
+	b := Cuckoo(0.8, 16, 2)
+	if !approx(a, b, 1e-12) {
+		t.Fatalf("CuckooFromSize=%g, Cuckoo=%g", a, b)
+	}
+}
+
+func TestCuckooMaxLoad(t *testing.T) {
+	cases := map[uint32]float64{1: 0.50, 2: 0.84, 4: 0.95, 8: 0.98}
+	for b, want := range cases {
+		if got := CuckooMaxLoad(b); got != want {
+			t.Fatalf("CuckooMaxLoad(%d)=%v want %v", b, got, want)
+		}
+	}
+}
+
+func TestOptimalKStd(t *testing.T) {
+	// k = ln2·(m/n): 10 bits/key → 7; 14.4 → 10.
+	if k := OptimalKStd(10); k != 7 {
+		t.Fatalf("OptimalKStd(10)=%d want 7", k)
+	}
+	if k := OptimalKStd(14.4); k != 10 {
+		t.Fatalf("OptimalKStd(14.4)=%d want 10", k)
+	}
+	if k := OptimalKStd(0.1); k != 1 {
+		t.Fatal("k must be clamped to ≥1")
+	}
+	if k := OptimalKStd(100); k != MaxK {
+		t.Fatal("k must be clamped to MaxK")
+	}
+}
+
+func TestOptimalKBlockedIsArgmin(t *testing.T) {
+	for _, bpk := range []float64{6, 10, 16, 20} {
+		for _, B := range []uint32{32, 64, 512} {
+			k := OptimalKBlocked(bpk, B)
+			best := Blocked(bpk, 1, k, B)
+			for kk := uint32(1); kk <= MaxK; kk++ {
+				if f := Blocked(bpk, 1, kk, B); f < best-1e-18 {
+					t.Fatalf("bpk=%v B=%d: k=%d (f=%g) beaten by k=%d (f=%g)",
+						bpk, B, k, best, kk, f)
+				}
+			}
+		}
+	}
+}
+
+func TestOptimalKBlockedSmallerForSmallBlocks(t *testing.T) {
+	// Fig. 4b: smaller blocks saturate earlier, so optimal k for B=32 is
+	// ≤ optimal k for classic at moderate bits-per-key.
+	kReg := OptimalKBlocked(16, 32)
+	kStd := OptimalKStd(16)
+	if kReg > kStd {
+		t.Fatalf("register-blocked optimal k=%d exceeds classic %d", kReg, kStd)
+	}
+}
+
+func TestOptimalKSectorizedMultipleConstraint(t *testing.T) {
+	// 8 sectors → k must be 8 or 16.
+	k := OptimalKSectorized(16, 512, 64)
+	if k != 8 && k != 16 {
+		t.Fatalf("k=%d violates multiple-of-sectors constraint", k)
+	}
+	// 16 sectors of 32 bits → only k=16 is feasible within MaxK.
+	if k := OptimalKSectorized(16, 512, 32); k != 16 {
+		t.Fatalf("expected k=16, got %d", k)
+	}
+}
+
+func TestPoissonMixMassConservation(t *testing.T) {
+	// f(i)=1 must integrate to ~1 for a range of lambdas, including large
+	// ones that would underflow a naive pmf.
+	for _, lambda := range []float64{0.1, 1, 10, 128, 512, 2000} {
+		got := poissonMix(lambda, func(float64) float64 { return 1 })
+		if !approx(got, 1, 1e-9) {
+			t.Fatalf("λ=%v: mass=%v", lambda, got)
+		}
+	}
+}
+
+func TestPoissonMixMean(t *testing.T) {
+	for _, lambda := range []float64{0.5, 3, 77, 300} {
+		got := poissonMix(lambda, func(i float64) float64 { return i })
+		if !approx(got, lambda, 1e-6) {
+			t.Fatalf("λ=%v: mean=%v", lambda, got)
+		}
+	}
+}
+
+func TestBlockedMonotoneInM(t *testing.T) {
+	for _, B := range []uint32{32, 64, 512} {
+		prev := 1.0
+		for bpk := 4.0; bpk <= 20; bpk += 0.5 {
+			f := Blocked(bpk, 1, 4, B)
+			if f > prev+1e-15 {
+				t.Fatalf("B=%d: f not decreasing at %v bpk", B, bpk)
+			}
+			prev = f
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { Std(0, 1, 1) },
+		func() { Blocked(10, 1, 1, 0) },
+		func() { Sectorized(10, 1, 3, 512, 64) },  // k not multiple of s
+		func() { Sectorized(10, 1, 8, 512, 100) }, // S doesn't divide B
+		func() { CacheSectorized(10, 1, 8, 512, 64, 3) },
+		func() { CacheSectorized(10, 1, 3, 512, 64, 2) },
+		func() { Cuckoo(0.8, 0, 2) },
+		func() { Cuckoo(0.8, 33, 2) },
+		func() { Cuckoo(0.8, 8, 0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkBlockedModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Blocked(16, 1, 8, 512)
+	}
+}
+
+func BenchmarkCacheSectorizedModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		CacheSectorized(16, 1, 8, 512, 64, 2)
+	}
+}

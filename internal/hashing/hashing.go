@@ -1,0 +1,112 @@
+// Package hashing implements the multiplicative hashing scheme the paper
+// uses for both Bloom and Cuckoo filters (§5), together with a "bit sink"
+// that doles out hash bits exactly the way the paper's lookup pseudocode
+// consumes them (Listings 1 and 2: "h = consume log2(·) hash bits").
+//
+// Multiplicative hashing computes h(x) = x·C mod 2^w for an odd constant C.
+// The high-order bits of the product are the well-mixed ones, so the sink
+// always consumes bits from the top of the current hash word. When a lookup
+// needs more bits than one 64-bit product provides (large k, large blocks),
+// the sink refills with an inexpensive strong remix of the key and a counter,
+// which keeps successive refills independent.
+package hashing
+
+import "perfilter/internal/rng"
+
+// Hash constants. Golden32/Golden64 are ⌊2^w/φ⌋ rounded to odd (Knuth's
+// multiplicative constants); Murmur32 is the MurmurHash2 multiplier, used
+// as a second, independent multiplicative constant for signature hashing in
+// the cuckoo filter so that tag→alt-bucket mixing is decoupled from key
+// hashing.
+const (
+	Golden32 uint32 = 0x9E3779B1
+	Golden64 uint64 = 0x9E3779B97F4A7C15
+	Murmur32 uint32 = 0x5BD1E995
+)
+
+// Mult32 is 32-bit multiplicative hashing: the full product x·C mod 2^32.
+// Callers that need p well-mixed bits should take the top p bits.
+func Mult32(x uint32) uint32 {
+	return x * Golden32
+}
+
+// Mult64 widens a 32-bit key and computes the 64-bit multiplicative hash.
+// The top bits carry the most entropy.
+func Mult64(x uint32) uint64 {
+	return uint64(x) * Golden64
+}
+
+// TagHash hashes a cuckoo-filter signature ("tag") with an independent
+// multiplicative constant. It is used to derive the alternate bucket index
+// (Eq. 6: i2 = i1 ⊕ hash(signature)).
+func TagHash(sig uint32) uint32 {
+	return sig * Murmur32
+}
+
+// Fold64 compresses a 64-bit hash to 32 bits by xor-folding, preserving
+// entropy from both halves.
+func Fold64(h uint64) uint32 {
+	return uint32(h>>32) ^ uint32(h)
+}
+
+// Sink is a stream of hash bits derived from one key. It is a value type;
+// create one per lookup with NewSink and consume with Next. Copies are
+// independent streams positioned at the copy point, which the blocked-filter
+// kernels exploit to share the block-address bits between insert and lookup.
+type Sink struct {
+	key   uint64 // widened original key, used for refills
+	word  uint64 // current hash word; bits are consumed from the top
+	ctr   uint64 // refill counter
+	avail uint32 // unconsumed bits remaining in word
+}
+
+// NewSink returns a sink positioned at the first (multiplicative) hash word
+// of key.
+func NewSink(key uint32) Sink {
+	return Sink{
+		key:   uint64(key),
+		word:  Mult64(key),
+		avail: 64,
+	}
+}
+
+// Next consumes the next n hash bits (0 ≤ n ≤ 32) from the top of the
+// stream and returns them right-aligned. Consuming 0 bits returns 0.
+func (s *Sink) Next(n uint32) uint32 {
+	if n == 0 {
+		return 0
+	}
+	if s.avail < n {
+		s.refill()
+	}
+	v := uint32(s.word >> (64 - n))
+	s.word <<= n
+	s.avail -= n
+	return v
+}
+
+// refill replaces the current word with an independent remix of the key.
+// rng.Mix64 is a fixed 64-bit permutation with full avalanche, so words for
+// different counter values are uncorrelated even for adjacent keys.
+func (s *Sink) refill() {
+	s.ctr++
+	s.word = rng.Mix64(s.key + s.ctr*Golden64)
+	s.avail = 64
+}
+
+// BitsForBlocked returns the total number of hash bits a blocked Bloom
+// filter lookup consumes: log2(m/B) block-address bits plus k·log2(B)
+// bit-address bits (§3.1). It exists so tests can assert the sink never
+// exhausts its stream quality within one lookup.
+func BitsForBlocked(blockAddrBits, k, blockBits uint32) uint32 {
+	return blockAddrBits + k*log2u32(blockBits)
+}
+
+func log2u32(x uint32) uint32 {
+	var n uint32
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,201 @@
+package hashing
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestMult32IsMultiplication(t *testing.T) {
+	for _, x := range []uint32{0, 1, 2, 12345, 1 << 31, 0xFFFFFFFF} {
+		if Mult32(x) != x*Golden32 {
+			t.Fatalf("Mult32(%d) mismatch", x)
+		}
+	}
+}
+
+func TestMult64TopBitsDistribution(t *testing.T) {
+	// Sequential keys must spread across buckets when addressed by the top
+	// bits — the defining property of multiplicative hashing.
+	const p = 8
+	var buckets [1 << p]int
+	const n = 1 << 16
+	for i := uint32(0); i < n; i++ {
+		buckets[Mult64(i)>>(64-p)]++
+	}
+	want := n / (1 << p)
+	for b, c := range buckets {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("bucket %d: %d keys, expected ~%d", b, c, want)
+		}
+	}
+}
+
+func TestFold64(t *testing.T) {
+	if Fold64(0) != 0 {
+		t.Fatal("Fold64(0) != 0")
+	}
+	if Fold64(0xFFFFFFFF00000000) != 0xFFFFFFFF {
+		t.Fatal("high-half fold wrong")
+	}
+	if Fold64(0x00000000FFFFFFFF) != 0xFFFFFFFF {
+		t.Fatal("low-half fold wrong")
+	}
+}
+
+func TestSinkDeterminism(t *testing.T) {
+	a := NewSink(42)
+	b := NewSink(42)
+	widths := []uint32{5, 9, 32, 1, 17, 32, 32, 6, 6, 6, 6, 6}
+	for i, w := range widths {
+		if x, y := a.Next(w), b.Next(w); x != y {
+			t.Fatalf("draw %d (width %d): %d vs %d", i, w, x, y)
+		}
+	}
+}
+
+func TestSinkZeroWidth(t *testing.T) {
+	s := NewSink(7)
+	before := s
+	if s.Next(0) != 0 {
+		t.Fatal("Next(0) != 0")
+	}
+	if s != before {
+		t.Fatal("Next(0) mutated the sink")
+	}
+}
+
+func TestSinkWidthBounds(t *testing.T) {
+	s := NewSink(123)
+	for i := 0; i < 100; i++ {
+		for _, w := range []uint32{1, 3, 6, 9, 17, 32} {
+			v := s.Next(w)
+			if w < 32 && v >= 1<<w {
+				t.Fatalf("Next(%d) = %d exceeds width", w, v)
+			}
+		}
+	}
+}
+
+func TestSinkFirstWordIsMultiplicative(t *testing.T) {
+	// The first 32 bits drawn must equal the top 32 bits of key·Golden64:
+	// that is what makes the scheme "multiplicative hashing".
+	if err := quick.Check(func(key uint32) bool {
+		s := NewSink(key)
+		return s.Next(32) == uint32(Mult64(key)>>32)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSinkSplitConsumption(t *testing.T) {
+	// Drawing 8+8 bits must yield the same bits as drawing 16 at once.
+	if err := quick.Check(func(key uint32) bool {
+		a := NewSink(key)
+		b := NewSink(key)
+		hi := a.Next(8)
+		lo := a.Next(8)
+		return hi<<8|lo == b.Next(16)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSinkRefillIndependence(t *testing.T) {
+	// Bits drawn after a refill must not repeat the first word.
+	s := NewSink(99)
+	first := s.Next(32)
+	second := s.Next(32) // exhausts word
+	third := s.Next(32)  // forces refill
+	if first == third && second == third {
+		t.Fatal("refilled word identical to first word")
+	}
+}
+
+func TestSinkAdjacentKeysDiverge(t *testing.T) {
+	// Adjacent keys should produce very different bit streams, including
+	// deep into the refill region.
+	diff := 0
+	for i := 0; i < 64; i++ {
+		a, b := NewSink(uint32(i)), NewSink(uint32(i+1))
+		for d := 0; d < 8; d++ { // 256 bits, 3 refills
+			if a.Next(32) != b.Next(32) {
+				diff++
+			}
+		}
+	}
+	if diff < 64*8*9/10 {
+		t.Fatalf("adjacent keys agreed too often: %d/512 draws differed", diff)
+	}
+}
+
+func TestSinkUniformityPerDraw(t *testing.T) {
+	// Each 6-bit draw position should be roughly uniform over many keys.
+	const draws = 10
+	const width = 6
+	var buckets [draws][1 << width]int
+	const keys = 1 << 14
+	for k := uint32(0); k < keys; k++ {
+		s := NewSink(k * 2654435761) // scatter the key space
+		for d := 0; d < draws; d++ {
+			buckets[d][s.Next(width)]++
+		}
+	}
+	want := keys / (1 << width)
+	for d := 0; d < draws; d++ {
+		for v, c := range buckets[d] {
+			if c < want/2 || c > want*2 {
+				t.Fatalf("draw %d value %d: count %d, expected ~%d", d, v, c, want)
+			}
+		}
+	}
+}
+
+func TestTagHashNonTrivial(t *testing.T) {
+	seen := map[uint32]bool{}
+	for sig := uint32(1); sig < 1<<12; sig++ {
+		seen[TagHash(sig)>>20] = true
+	}
+	if len(seen) < 1<<10 {
+		t.Fatalf("TagHash top bits cover only %d values", len(seen))
+	}
+}
+
+func TestBitsForBlocked(t *testing.T) {
+	// Register-blocked, B=32, k=4, 2^20 blocks: 20 + 4·5 = 40 bits.
+	if got := BitsForBlocked(20, 4, 32); got != 40 {
+		t.Fatalf("got %d, want 40", got)
+	}
+	// Cache-line block, B=512, k=16: k·9 bits.
+	if got := BitsForBlocked(10, 16, 512); got != 10+16*9 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestAvalancheOfRefillWords(t *testing.T) {
+	// Refill words for consecutive counters must differ in ~32 bits.
+	s1 := NewSink(5)
+	s1.Next(32)
+	s1.Next(32)
+	w1 := uint64(s1.Next(32))<<32 | uint64(s1.Next(32))
+	w2 := uint64(s1.Next(32))<<32 | uint64(s1.Next(32))
+	d := bits.OnesCount64(w1 ^ w2)
+	if d < 10 || d > 54 {
+		t.Fatalf("refill avalanche weak: %d differing bits", d)
+	}
+}
+
+func BenchmarkSinkLookupPattern(b *testing.B) {
+	// Models a k=8, B=512, z=2 cache-sectorized lookup's hash consumption.
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		s := NewSink(uint32(i))
+		sink += s.Next(20) // block address
+		sink += s.Next(2)  // sector-in-group (×2)
+		sink += s.Next(2)
+		for j := 0; j < 8; j++ {
+			sink += s.Next(6) // bit address
+		}
+	}
+	_ = sink
+}

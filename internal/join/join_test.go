@@ -1,0 +1,189 @@
+package join
+
+import (
+	"testing"
+
+	"perfilter/internal/blocked"
+	"perfilter/internal/cuckoo"
+	"perfilter/internal/workload"
+)
+
+func setup(t *testing.T, n, probes int, sigma float64) (*workload.BuildProbe, *HashTable) {
+	t.Helper()
+	bp := workload.NewBuildProbe(n, probes, sigma, 11)
+	ht := BuildHashTable(bp.Build, Payloads(bp.Build))
+	return bp, ht
+}
+
+func TestHashTableProbe(t *testing.T) {
+	keys := []uint32{1, 2, 3, 1 << 30}
+	ht := BuildHashTable(keys, Payloads(keys))
+	for _, k := range keys {
+		p, ok := ht.Probe(k)
+		if !ok || p != uint64(k)*2654435761+1 {
+			t.Fatalf("probe %d: ok=%v payload=%d", k, ok, p)
+		}
+	}
+	if _, ok := ht.Probe(999); ok {
+		t.Fatal("phantom match")
+	}
+	if ht.Len() != 4 {
+		t.Fatalf("Len=%d", ht.Len())
+	}
+}
+
+func TestHashTableDuplicatesKeepFirst(t *testing.T) {
+	ht := BuildHashTable([]uint32{5, 5}, []uint64{10, 20})
+	p, ok := ht.Probe(5)
+	if !ok || p != 10 {
+		t.Fatalf("dup handling: ok=%v p=%d", ok, p)
+	}
+	if ht.Len() != 1 {
+		t.Fatalf("Len=%d", ht.Len())
+	}
+}
+
+func TestHashTableMisalignedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BuildHashTable([]uint32{1}, nil)
+}
+
+func TestPipelineWithoutFilter(t *testing.T) {
+	bp, ht := setup(t, 2000, 10000, 0.25)
+	res := Run(bp.Probe, ht, Config{TwUnits: 10})
+	if res.Scanned != 10000 || res.AfterFilter != 10000 {
+		t.Fatalf("scan counts wrong: %+v", res)
+	}
+	if res.Matches != 2500 {
+		t.Fatalf("matches=%d want 2500 (σ=0.25)", res.Matches)
+	}
+}
+
+// TestFilterNeverChangesResults is the correctness core of pushdown: an
+// approximate filter with no false negatives must leave the join result
+// (match count and aggregate) bit-identical.
+func TestFilterNeverChangesResults(t *testing.T) {
+	bp, ht := setup(t, 4000, 20000, 0.1)
+	filters := map[string]interface {
+		ContainsBatch([]uint32, []uint32) []uint32
+	}{}
+	bf, err := blocked.New(blocked.CacheSectorizedParams(64, 512, 2, 8, true), uint64(len(bp.Build)*16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range bp.Build {
+		bf.Insert(k)
+	}
+	filters["bloom"] = bf
+	cf, err := cuckoo.New(cuckoo.Params{TagBits: 16, BucketSize: 2, Magic: true},
+		cuckoo.Params{TagBits: 16, BucketSize: 2}.SizeForKeys(uint64(len(bp.Build))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range bp.Build {
+		if err := cf.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	filters["cuckoo"] = cf
+
+	base := Run(bp.Probe, ht, Config{TwUnits: 0})
+	for name, f := range filters {
+		got := Run(bp.Probe, ht, Config{Filter: f, TwUnits: 0})
+		if got.Matches != base.Matches || got.Agg != base.Agg {
+			t.Fatalf("%s: result changed: %+v vs %+v", name, got, base)
+		}
+		if got.AfterFilter >= got.Scanned {
+			t.Fatalf("%s: filter eliminated nothing at σ=0.1", name)
+		}
+		if got.AfterFilter < got.Matches {
+			t.Fatalf("%s: filter dropped joinable tuples", name)
+		}
+	}
+}
+
+func TestFilterEliminationRate(t *testing.T) {
+	// At σ=0.1 with f≈0.4%, the filter should pass ≈ σ + f of tuples.
+	bp, ht := setup(t, 8000, 40000, 0.1)
+	bf, _ := blocked.New(blocked.CacheSectorizedParams(64, 512, 2, 8, false), uint64(len(bp.Build)*16))
+	for _, k := range bp.Build {
+		bf.Insert(k)
+	}
+	res := Run(bp.Probe, ht, Config{Filter: bf, TwUnits: 0})
+	passRate := float64(res.AfterFilter) / float64(res.Scanned)
+	f := bf.FPR(uint64(len(bp.Build)))
+	want := 0.1 + f*0.9
+	if passRate < want*0.9 || passRate > want*1.1+0.01 {
+		t.Fatalf("pass rate %.4f, want ≈%.4f", passRate, want)
+	}
+	_ = ht
+}
+
+func TestSpeedupAtLowSelectivity(t *testing.T) {
+	// The end-to-end claim: with σ=0.05 and meaningful per-tuple work,
+	// pushdown must make the pipeline faster.
+	bp, ht := setup(t, 4000, 50000, 0.05)
+	bf, _ := blocked.New(blocked.RegisterBlockedParams(64, 4, false), uint64(len(bp.Build)*12))
+	for _, k := range bp.Build {
+		bf.Insert(k)
+	}
+	speedup, with, without := SelectivitySweepPoint(bp.Probe, ht, bf, 400)
+	if with.Matches != without.Matches {
+		t.Fatal("filter changed results")
+	}
+	if speedup < 1.5 {
+		t.Fatalf("speedup %.2f at σ=0.05, tw=400; expected >1.5×", speedup)
+	}
+}
+
+func TestNoSpeedupAtFullSelectivity(t *testing.T) {
+	// σ=1: every tuple joins; the filter only adds overhead (§1's
+	// "backfire" case). The speedup must hover at or below ~1.
+	bp, ht := setup(t, 4000, 30000, 1.0)
+	bf, _ := blocked.New(blocked.RegisterBlockedParams(64, 4, false), uint64(len(bp.Build)*12))
+	for _, k := range bp.Build {
+		bf.Insert(k)
+	}
+	speedup, with, _ := SelectivitySweepPoint(bp.Probe, ht, bf, 200)
+	if with.AfterFilter != with.Scanned {
+		t.Fatal("filter dropped matching tuples at σ=1")
+	}
+	if speedup > 1.15 {
+		t.Fatalf("speedup %.2f at σ=1 — impossible", speedup)
+	}
+}
+
+func TestBatchBoundaries(t *testing.T) {
+	bp, ht := setup(t, 100, 2049, 0.5) // probe size not a batch multiple
+	res := Run(bp.Probe, ht, Config{Batch: 1024})
+	if res.Scanned != 2049 {
+		t.Fatalf("scanned %d", res.Scanned)
+	}
+	res2 := Run(bp.Probe, ht, Config{Batch: 7})
+	if res2.Matches != res.Matches || res2.Agg != res.Agg {
+		t.Fatal("batch size changed results")
+	}
+}
+
+func BenchmarkPipeline(b *testing.B) {
+	bp := workload.NewBuildProbe(1<<14, 1<<16, 0.05, 3)
+	ht := BuildHashTable(bp.Build, Payloads(bp.Build))
+	bf, _ := blocked.New(blocked.CacheSectorizedParams(64, 512, 2, 8, false), uint64(len(bp.Build)*16))
+	for _, k := range bp.Build {
+		bf.Insert(k)
+	}
+	b.Run("no-filter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Run(bp.Probe, ht, Config{TwUnits: 100})
+		}
+	})
+	b.Run("bloom-pushdown", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Run(bp.Probe, ht, Config{Filter: bf, TwUnits: 100})
+		}
+	})
+}

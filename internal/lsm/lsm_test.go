@@ -1,0 +1,217 @@
+package lsm
+
+import (
+	"testing"
+
+	"perfilter/internal/rng"
+)
+
+func smallOpts(f FilterKind) Options {
+	o := DefaultOptions()
+	o.MemtableSize = 256
+	o.MaxRuns = 4
+	o.ReadUnits = 50 // keep tests fast
+	o.Filter = f
+	return o
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	for _, f := range []FilterKind{NoFilter, BloomFilter, CuckooFilter} {
+		tr := New(smallOpts(f))
+		r := rng.NewMT19937(1)
+		keys := make(map[uint32]uint64)
+		for i := 0; i < 3000; i++ {
+			k := r.Uint32()
+			keys[k] = uint64(i)
+			tr.Put(k, uint64(i))
+		}
+		for k, want := range keys {
+			got, ok := tr.Get(k)
+			if !ok || got != want {
+				t.Fatalf("filter=%d key %d: got (%d,%v) want %d", f, k, got, ok, want)
+			}
+		}
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	tr := New(smallOpts(BloomFilter))
+	tr.Put(42, 1)
+	// Force through several flush/compaction cycles.
+	r := rng.NewMT19937(2)
+	for i := 0; i < 2000; i++ {
+		tr.Put(r.Uint32(), 9)
+	}
+	tr.Put(42, 2)
+	for i := 0; i < 2000; i++ {
+		tr.Put(r.Uint32(), 9)
+	}
+	if v, ok := tr.Get(42); !ok || v != 2 {
+		t.Fatalf("got (%d,%v), want latest value 2", v, ok)
+	}
+}
+
+func TestDeleteTombstone(t *testing.T) {
+	tr := New(smallOpts(CuckooFilter))
+	r := rng.NewMT19937(3)
+	tr.Put(7, 1)
+	for i := 0; i < 1000; i++ {
+		tr.Put(r.Uint32(), 5)
+	}
+	tr.Delete(7)
+	for i := 0; i < 1000; i++ {
+		tr.Put(r.Uint32(), 5)
+	}
+	if _, ok := tr.Get(7); ok {
+		t.Fatal("deleted key still visible across flushes")
+	}
+	// Deleting again and re-inserting resurrects.
+	tr.Put(7, 9)
+	if v, ok := tr.Get(7); !ok || v != 9 {
+		t.Fatal("reinsert after delete failed")
+	}
+}
+
+func TestCompactionBoundsRuns(t *testing.T) {
+	o := smallOpts(BloomFilter)
+	tr := New(o)
+	r := rng.NewMT19937(4)
+	for i := 0; i < 20000; i++ {
+		tr.Put(r.Uint32(), 1)
+	}
+	if tr.Runs() > o.MaxRuns+1 {
+		t.Fatalf("%d runs exceed bound %d", tr.Runs(), o.MaxRuns)
+	}
+	if tr.Stats.Compactions == 0 {
+		t.Fatal("no compactions happened")
+	}
+}
+
+func TestFiltersSkipReads(t *testing.T) {
+	// Negative lookups on a multi-run tree must mostly skip storage reads
+	// when filters are installed, and never when they are not.
+	mk := func(f FilterKind) *Tree {
+		tr := New(smallOpts(f))
+		r := rng.NewMT19937(5)
+		for i := 0; i < 5000; i++ {
+			tr.Put(r.Uint32()|1, 1) // odd keys only
+		}
+		return tr
+	}
+	for _, f := range []FilterKind{BloomFilter, CuckooFilter} {
+		tr := mk(f)
+		before := tr.Stats
+		r := rng.NewSplitMix64(9)
+		misses := 0
+		for i := 0; i < 2000; i++ {
+			if _, ok := tr.Get(r.Uint32() &^ 1); !ok { // even keys: absent
+				misses++
+			}
+		}
+		if misses != 2000 {
+			t.Fatalf("filter=%d: phantom hits", f)
+		}
+		reads := tr.Stats.RunReads - before.RunReads
+		skipped := tr.Stats.SkippedReads - before.SkippedReads
+		if skipped == 0 {
+			t.Fatalf("filter=%d: no reads skipped", f)
+		}
+		skipRate := float64(skipped) / float64(skipped+reads)
+		if skipRate < 0.95 {
+			t.Fatalf("filter=%d: skip rate %.3f too low", f, skipRate)
+		}
+	}
+	trNo := mk(NoFilter)
+	before := trNo.Stats
+	trNo.Get(2)
+	if trNo.Stats.SkippedReads != before.SkippedReads {
+		t.Fatal("filterless tree skipped a read")
+	}
+	if trNo.Stats.RunReads == before.RunReads {
+		t.Fatal("filterless tree read nothing")
+	}
+}
+
+func TestCuckooSkipsMoreThanBloom(t *testing.T) {
+	// The reason Cuckoo wins at high tw: fewer false-positive reads at
+	// comparable size. Compare wasted reads over many negative lookups.
+	wasted := func(f FilterKind, bpk int) uint64 {
+		o := smallOpts(f)
+		o.BitsPerKey = bpk
+		tr := New(o)
+		r := rng.NewMT19937(6)
+		for i := 0; i < 8000; i++ {
+			tr.Put(r.Uint32()|1, 1)
+		}
+		probe := rng.NewSplitMix64(10)
+		for i := 0; i < 30000; i++ {
+			tr.Get(probe.Uint32() &^ 1)
+		}
+		return tr.Stats.WastedReads
+	}
+	// Bloom at ~19 bits/key vs Cuckoo (l=16,b=2 → ~19 bits/key effective).
+	b := wasted(BloomFilter, 19)
+	c := wasted(CuckooFilter, 19)
+	if c >= b {
+		t.Fatalf("cuckoo wasted %d reads, bloom %d — expected cuckoo lower", c, b)
+	}
+}
+
+func TestLenTracksLiveKeys(t *testing.T) {
+	tr := New(smallOpts(BloomFilter))
+	for i := uint32(0); i < 1000; i++ {
+		tr.Put(i, uint64(i))
+	}
+	for i := uint32(0); i < 500; i++ {
+		tr.Delete(i)
+	}
+	if got := tr.Len(); got != 500 {
+		t.Fatalf("Len=%d want 500", got)
+	}
+}
+
+func TestGetFromEmptyTree(t *testing.T) {
+	tr := New(DefaultOptions())
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("empty tree returned a value")
+	}
+}
+
+func TestExplicitFlush(t *testing.T) {
+	tr := New(smallOpts(NoFilter))
+	tr.Put(1, 10)
+	tr.Flush()
+	if tr.Runs() != 1 {
+		t.Fatalf("runs=%d after explicit flush", tr.Runs())
+	}
+	if v, ok := tr.Get(1); !ok || v != 10 {
+		t.Fatal("key lost after flush")
+	}
+	tr.Flush() // empty memtable: no-op
+	if tr.Runs() != 1 {
+		t.Fatal("empty flush created a run")
+	}
+}
+
+func BenchmarkGetNegative(b *testing.B) {
+	for _, f := range []struct {
+		name string
+		kind FilterKind
+	}{{"nofilter", NoFilter}, {"bloom", BloomFilter}, {"cuckoo", CuckooFilter}} {
+		b.Run(f.name, func(b *testing.B) {
+			o := DefaultOptions()
+			o.Filter = f.kind
+			o.MemtableSize = 4096
+			tr := New(o)
+			r := rng.NewMT19937(1)
+			for i := 0; i < 40000; i++ {
+				tr.Put(r.Uint32()|1, 1)
+			}
+			probe := rng.NewSplitMix64(2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Get(probe.Uint32() &^ 1)
+			}
+		})
+	}
+}

@@ -1,0 +1,230 @@
+package magic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"perfilter/internal/rng"
+)
+
+// divisor set covering small values, primes, powers of two, and values just
+// off powers of two.
+var testDivisors = []uint32{
+	1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 16, 17, 25, 100, 127, 128,
+	129, 255, 256, 257, 641, 1000, 1023, 1024, 1025, 4097, 65535, 65536, 65537,
+	1000003, 1 << 20, (1 << 20) + 7, 1<<24 - 1, 1 << 30, 1<<31 - 1, 1 << 31,
+	(1 << 31) + 1, 0xFFFFFFFE, 0xFFFFFFFF,
+}
+
+var testValues = []uint32{
+	0, 1, 2, 3, 100, 12345, 1 << 16, 1<<20 - 1, 1 << 24, 1<<31 - 1, 1 << 31,
+	(1 << 31) + 1, 0xDEADBEEF, 0xFFFFFFFE, 0xFFFFFFFF,
+}
+
+func TestDivMatchesHardwareDivision(t *testing.T) {
+	for _, d := range testDivisors {
+		dv := Compute(d)
+		for _, n := range testValues {
+			if got, want := dv.Div(n), n/d; got != want {
+				t.Fatalf("Div(%d)/%d = %d, want %d (magic=%#x shift=%d add=%v)",
+					n, d, got, want, dv.m, dv.s, dv.add)
+			}
+		}
+	}
+}
+
+func TestModMatchesHardwareModulo(t *testing.T) {
+	for _, d := range testDivisors {
+		dv := Compute(d)
+		for _, n := range testValues {
+			if got, want := dv.Mod(n), n%d; got != want {
+				t.Fatalf("Mod(%d) mod %d = %d, want %d", n, d, got, want)
+			}
+		}
+	}
+}
+
+func TestDivRandomized(t *testing.T) {
+	r := rng.NewSplitMix64(2024)
+	for i := 0; i < 2000; i++ {
+		d := r.Uint32()
+		if d == 0 {
+			d = 1
+		}
+		dv := Compute(d)
+		for j := 0; j < 50; j++ {
+			n := r.Uint32()
+			if dv.Div(n) != n/d {
+				t.Fatalf("d=%d n=%d: %d != %d", d, n, dv.Div(n), n/d)
+			}
+			if dv.Mod(n) != n%d {
+				t.Fatalf("mod d=%d n=%d", d, n)
+			}
+		}
+	}
+}
+
+func TestQuickDivProperty(t *testing.T) {
+	if err := quick.Check(func(d, n uint32) bool {
+		if d == 0 {
+			d = 1
+		}
+		dv := Compute(d)
+		return dv.Div(n) == n/d && dv.Mod(n) == n%d
+	}, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExhaustiveSmallDivisors(t *testing.T) {
+	// For every divisor up to 2^12, check a dense value sample including
+	// multiples of d and their neighbours (the hard cases for magic math).
+	for d := uint32(1); d <= 1<<12; d++ {
+		dv := Compute(d)
+		for _, base := range []uint32{0, d, 2 * d, 1000 * d, 0xFFFFFFFF / d * d} {
+			for off := -2; off <= 2; off++ {
+				n := base + uint32(off)
+				if dv.Div(n) != n/d {
+					t.Fatalf("d=%d n=%d: div %d want %d", d, n, dv.Div(n), n/d)
+				}
+			}
+		}
+	}
+}
+
+func TestPowersOfTwoAreNoAdd(t *testing.T) {
+	for k := 0; k < 32; k++ {
+		d := uint32(1) << k
+		if Compute(d).NeedsAdd() {
+			t.Fatalf("pow2 divisor %d classified as needing add", d)
+		}
+	}
+}
+
+func TestAddClassExists(t *testing.T) {
+	// d = 7 is the textbook class-(i) divisor for 32-bit unsigned division.
+	if !Compute(7).NeedsAdd() {
+		t.Fatal("expected divisor 7 to need the add fixup")
+	}
+}
+
+func TestNextReturnsNoAdd(t *testing.T) {
+	r := rng.NewSplitMix64(7)
+	for i := 0; i < 500; i++ {
+		d := r.Uint32()%(1<<28) + 1
+		dv := Next(d)
+		if dv.NeedsAdd() {
+			t.Fatalf("Next(%d) returned class-(i) divisor %d", d, dv.D())
+		}
+		if dv.D() < d {
+			t.Fatalf("Next(%d) went down to %d", d, dv.D())
+		}
+	}
+}
+
+func TestNextOvershoot(t *testing.T) {
+	// The paper reports the actual block count is at most 0.0134% above the
+	// desired count. Verify the overshoot bound over a broad sample.
+	r := rng.NewSplitMix64(99)
+	worst := 0.0
+	for i := 0; i < 3000; i++ {
+		d := r.Uint32()%(1<<30) + 1<<10 // realistic block counts
+		dv := Next(d)
+		over := float64(dv.D()-d) / float64(d)
+		if over > worst {
+			worst = over
+		}
+	}
+	if worst > 0.000134 {
+		t.Fatalf("worst overshoot %.6f%% exceeds paper's 0.0134%%", worst*100)
+	}
+}
+
+func TestNextIsIdempotentOnNoAdd(t *testing.T) {
+	for _, d := range []uint32{2, 4, 1024, 5, 25} {
+		if Compute(d).NeedsAdd() {
+			continue
+		}
+		if got := Next(d).D(); got != d {
+			t.Fatalf("Next(%d) = %d for an already-class-(ii) divisor", d, got)
+		}
+	}
+}
+
+func TestNextSize(t *testing.T) {
+	actual, dv := NextSize(1_000_000, 512)
+	if actual%512 != 0 {
+		t.Fatal("actual size not a multiple of the granule")
+	}
+	if actual < 1_000_000 {
+		t.Fatalf("actual %d below desired", actual)
+	}
+	wantBlocks := uint32((1_000_000 + 511) / 512)
+	if dv.D() < wantBlocks {
+		t.Fatalf("divider %d below desired blocks %d", dv.D(), wantBlocks)
+	}
+	if dv.NeedsAdd() {
+		t.Fatal("NextSize returned class-(i) divider")
+	}
+}
+
+func TestNextSizeTinyDesired(t *testing.T) {
+	actual, dv := NextSize(1, 64)
+	if actual != 64 || dv.D() != 1 {
+		t.Fatalf("got actual=%d blocks=%d", actual, dv.D())
+	}
+}
+
+func TestNextSizePanicsOnZeroGranule(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NextSize(100, 0)
+}
+
+func TestComputePanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Compute(0)
+}
+
+func TestDividerOne(t *testing.T) {
+	dv := Compute(1)
+	for _, n := range testValues {
+		if dv.Div(n) != n || dv.Mod(n) != 0 {
+			t.Fatalf("identity divider wrong for %d", n)
+		}
+	}
+}
+
+func BenchmarkMagicMod(b *testing.B) {
+	dv := Next(1000003)
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink += dv.Mod(uint32(i) * 2654435761)
+	}
+	_ = sink
+}
+
+func BenchmarkHardwareMod(b *testing.B) {
+	d := Next(1000003).D()
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink += (uint32(i) * 2654435761) % d
+	}
+	_ = sink
+}
+
+func BenchmarkPow2Mask(b *testing.B) {
+	mask := uint32(1<<20 - 1)
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink += (uint32(i) * 2654435761) & mask
+	}
+	_ = sink
+}

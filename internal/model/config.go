@@ -1,0 +1,256 @@
+// Package model implements the paper's core contribution: the
+// performance-optimal filtering model (§2) and the skyline sweeps of §6.
+//
+// The overhead of a filter configuration F at work saving tw is
+//
+//	ρ(F) = tl(F) + f(F)·tw                (Eq. 1)
+//
+// and the performance-optimal filter minimizes ρ. Filtering is beneficial
+// at all iff ρ(F_opt) < (1−σ)·tw. f comes from the analytic models in
+// package fpr; tl comes from a CostModel — either the analytic machine
+// model parameterized with the paper's Table 1 platforms (package model's
+// presets) or host measurements (package calibrate).
+package model
+
+import (
+	"fmt"
+	"math/bits"
+
+	"perfilter/internal/blocked"
+	"perfilter/internal/bloom"
+	"perfilter/internal/cuckoo"
+	"perfilter/internal/fpr"
+	"perfilter/internal/magic"
+)
+
+// Kind identifies a filter family.
+type Kind uint8
+
+const (
+	// KindBlockedBloom covers all blocked variants (register-blocked,
+	// plain blocked, sectorized, cache-sectorized).
+	KindBlockedBloom Kind = iota
+	// KindClassicBloom is the unblocked baseline.
+	KindClassicBloom
+	// KindCuckoo is the cuckoo filter.
+	KindCuckoo
+	// KindExact is the exact hash set (f = 0, large footprint).
+	KindExact
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindBlockedBloom:
+		return "bloom"
+	case KindClassicBloom:
+		return "classic"
+	case KindCuckoo:
+		return "cuckoo"
+	case KindExact:
+		return "exact"
+	default:
+		return "invalid"
+	}
+}
+
+// Config is a tagged union over the filter families' parameter types.
+type Config struct {
+	Kind    Kind
+	Bloom   blocked.Params // Kind == KindBlockedBloom
+	Classic bloom.Params   // Kind == KindClassicBloom
+	Cuckoo  cuckoo.Params  // Kind == KindCuckoo
+}
+
+// Validate checks the embedded parameters.
+func (c Config) Validate() error {
+	switch c.Kind {
+	case KindBlockedBloom:
+		return c.Bloom.Validate()
+	case KindClassicBloom:
+		return c.Classic.Validate()
+	case KindCuckoo:
+		return c.Cuckoo.Validate()
+	case KindExact:
+		return nil
+	default:
+		return fmt.Errorf("model: invalid kind %d", c.Kind)
+	}
+}
+
+// String renders the configuration.
+func (c Config) String() string {
+	switch c.Kind {
+	case KindBlockedBloom:
+		return c.Bloom.String()
+	case KindClassicBloom:
+		return c.Classic.String()
+	case KindCuckoo:
+		return c.Cuckoo.String()
+	case KindExact:
+		return "exact[robin-hood]"
+	default:
+		return "invalid"
+	}
+}
+
+// FPR returns the analytic false-positive rate at size mBits with n keys.
+func (c Config) FPR(mBits, n uint64) float64 {
+	switch c.Kind {
+	case KindBlockedBloom:
+		return c.Bloom.FPR(mBits, n)
+	case KindClassicBloom:
+		return c.Classic.FPR(mBits, n)
+	case KindCuckoo:
+		return c.Cuckoo.FPR(mBits, n)
+	default: // exact
+		return 0
+	}
+}
+
+// Feasible reports whether a filter of mBits can actually be built holding
+// n keys. Bloom filters always construct; cuckoo filters require the load
+// factor α = l·n/m to stay within the practical limit for their bucket size
+// (§4: ~50%, 84%, 95%, 98% for b = 1, 2, 4, 8 — beyond that, construction
+// fails). The skyline sweep and the advisor both honour this constraint.
+func (c Config) Feasible(mBits, n uint64) bool {
+	if c.Kind != KindCuckoo {
+		return true
+	}
+	alpha := float64(c.Cuckoo.TagBits) * float64(n) / float64(mBits)
+	return alpha <= fpr.CuckooMaxLoad(c.Cuckoo.BucketSize)
+}
+
+// GranuleBits is the sizing granule: filters round their size up to whole
+// granules (block for blocked Bloom, bucket for cuckoo, bit for classic).
+func (c Config) GranuleBits() uint32 {
+	switch c.Kind {
+	case KindBlockedBloom:
+		return c.Bloom.BlockBits
+	case KindCuckoo:
+		return c.Cuckoo.TagBits * c.Cuckoo.BucketSize
+	default:
+		return 1
+	}
+}
+
+// usesMagic reports whether the configuration uses magic-modulo addressing.
+func (c Config) usesMagic() bool {
+	switch c.Kind {
+	case KindBlockedBloom:
+		return c.Bloom.Magic
+	case KindClassicBloom:
+		return c.Classic.Magic
+	case KindCuckoo:
+		return c.Cuckoo.Magic
+	default:
+		return false
+	}
+}
+
+// ActualBits applies the same size rounding the constructors apply, without
+// building a filter: magic addressing rounds the granule count to the next
+// class-(ii) divisor (Eq. 10), power-of-two addressing to the next power of
+// two. Exact structures are sized by key count, not by a byte budget; see
+// ExactBits.
+func (c Config) ActualBits(desired uint64) uint64 {
+	if c.Kind == KindExact {
+		return desired
+	}
+	g := uint64(c.GranuleBits())
+	granules := (desired + g - 1) / g
+	if granules == 0 {
+		granules = 1
+	}
+	if c.usesMagic() {
+		if granules > 0xFFFFFFFF {
+			granules = 0xFFFFFFFF
+		}
+		return uint64(magic.Next(uint32(granules)).D()) * g
+	}
+	return nextPow2(granules) * g
+}
+
+// ExactBits returns the footprint of the exact hash set for n keys: slots
+// at 85% maximum load, 8 bytes each, power-of-two table.
+func ExactBits(n uint64) uint64 {
+	slots := nextPow2(uint64(float64(n)/0.85) + 1)
+	if slots < 16 {
+		slots = 16
+	}
+	return slots * 64
+}
+
+// Overhead is Eq. 1: ρ(F) = tl + f·tw, the per-lookup cost of filtering
+// including the false-positive work.
+func Overhead(tl, f, tw float64) float64 {
+	return tl + f*tw
+}
+
+// Beneficial reports whether installing the filter helps at all:
+// ρ(F_opt) < (1−σ)·tw (§2). σ is the fraction of probes that truly match.
+func Beneficial(rho, sigma, tw float64) bool {
+	return rho < (1-sigma)*tw
+}
+
+// WorkPerTuple is the σ-aware per-tuple probe-pipeline cost tw′(F) from §2:
+//
+//	tw′ = (1−σ′)·tlNeg + σ′·(tlPos + tw),  σ′ = σ + f
+//
+// tlNeg and tlPos are the filter's negative/positive lookup costs (equal
+// for everything except the classic Bloom filter).
+func WorkPerTuple(tlNeg, tlPos, tw, sigma, f float64) float64 {
+	sigmaP := sigma + f
+	if sigmaP > 1 {
+		sigmaP = 1
+	}
+	return (1-sigmaP)*tlNeg + sigmaP*(tlPos+tw)
+}
+
+// log2f returns log2 of a power-of-two as float64.
+func log2f(x uint32) float64 {
+	return float64(bits.Len32(x) - 1)
+}
+
+func nextPow2(x uint64) uint64 {
+	if x <= 1 {
+		return 1
+	}
+	return 1 << (64 - bits.LeadingZeros64(x-1))
+}
+
+// HashBits returns the number of hash bits one lookup consumes — the
+// computational-efficiency axis of §3.1 (blocking reduces hash bits from
+// k·log2(m) to k·log2(B) + log2(m/B)). Block/bucket addressing consumes a
+// fixed 32 bits in this implementation regardless of addressing mode.
+func (c Config) HashBits() float64 {
+	switch c.Kind {
+	case KindBlockedBloom:
+		p := c.Bloom
+		g := p.Sectors() / p.Z
+		return 32 + float64(p.Z)*log2f(g) + float64(p.K)*log2f(p.SectorBits)
+	case KindClassicBloom:
+		return float64(c.Classic.K) * 32
+	case KindCuckoo:
+		return 32 + float64(c.Cuckoo.TagBits)
+	default:
+		return 32
+	}
+}
+
+// LinesAccessed returns how many cache lines one lookup touches: the
+// memory-efficiency axis. Cuckoo filters read two buckets; blocked Bloom
+// filters read one line; classic Bloom filters read up to k (modelled at
+// its short-circuit expectation elsewhere).
+func (c Config) LinesAccessed() float64 {
+	switch c.Kind {
+	case KindBlockedBloom:
+		return 1
+	case KindClassicBloom:
+		return float64(c.Classic.K)
+	case KindCuckoo:
+		return 2
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,111 @@
+package model
+
+import (
+	"perfilter/internal/blocked"
+	"perfilter/internal/bloom"
+	"perfilter/internal/cuckoo"
+	"perfilter/internal/fpr"
+)
+
+// EnumerateBloom returns blocked-Bloom configurations over the paper's §6
+// sweep dimensions: k ∈ [1,16], B ∈ {32..512} bits (4–64 bytes),
+// S ∈ {8..512} bits, W ∈ {32,64}, z ∈ {2,4,8}, both addressing modes.
+// full=false curates the subset that the paper's skylines actually select
+// from (word-sized sectors, z ∈ {1,2,4}, the headline block sizes), which
+// keeps default sweeps fast while spanning every variant.
+func EnumerateBloom(full bool) []Config {
+	var out []Config
+	add := func(p blocked.Params) {
+		if p.Validate() == nil {
+			out = append(out, Config{Kind: KindBlockedBloom, Bloom: p})
+		}
+	}
+	words := []uint32{32, 64}
+	blocks := []uint32{32, 64, 128, 256, 512}
+	zs := []uint32{1, 2, 4, 8, 16}
+	ks := []uint32{1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16}
+	sectors := []uint32{8, 16, 32, 64, 128, 256, 512}
+	if !full {
+		words = []uint32{64}
+		blocks = []uint32{32, 64, 256, 512}
+		zs = []uint32{1, 2, 4, 8}
+		ks = []uint32{2, 3, 4, 5, 6, 8, 12, 16}
+		sectors = []uint32{32, 64, 512}
+	}
+	for _, magicMod := range []bool{false, true} {
+		for _, w := range words {
+			for _, b := range blocks {
+				if b < w {
+					continue
+				}
+				for _, s := range sectors {
+					if s > b || b%s != 0 {
+						continue
+					}
+					for _, z := range zs {
+						for _, k := range ks {
+							add(blocked.Params{
+								WordBits: w, BlockBits: b, SectorBits: s,
+								Z: z, K: k, Magic: magicMod,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// EnumerateCuckoo returns cuckoo configurations over the paper's sweep:
+// l ∈ {4,8,12,16} bits, b ∈ {1,2,4}, both addressing modes. (The paper
+// additionally implements l=32 but never finds it optimal; full=true
+// includes it, and b=8.)
+func EnumerateCuckoo(full bool) []Config {
+	ls := []uint32{4, 8, 12, 16}
+	bs := []uint32{1, 2, 4}
+	if full {
+		ls = append(ls, 32)
+		bs = append(bs, 8)
+	}
+	var out []Config
+	for _, magicMod := range []bool{false, true} {
+		for _, l := range ls {
+			for _, b := range bs {
+				p := cuckoo.Params{TagBits: l, BucketSize: b, Magic: magicMod}
+				if p.Validate() == nil {
+					out = append(out, Config{Kind: KindCuckoo, Cuckoo: p})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// EnumerateClassic returns classic-Bloom baselines (k up to fpr.MaxK).
+// The paper includes the SIMD classic filter of Polychroniou & Ross in its
+// sweeps and reports it is never performance-optimal; these entries let the
+// skylines demonstrate the same.
+func EnumerateClassic() []Config {
+	var out []Config
+	for _, magicMod := range []bool{false, true} {
+		for k := uint32(2); k <= fpr.MaxK; k += 2 {
+			out = append(out, Config{
+				Kind:    KindClassicBloom,
+				Classic: bloom.Params{K: k, Magic: magicMod},
+			})
+		}
+	}
+	return out
+}
+
+// DefaultConfigs returns the configuration space for skyline sweeps:
+// blocked Bloom + cuckoo (+ classic baselines when full).
+func DefaultConfigs(full bool) []Config {
+	out := EnumerateBloom(full)
+	out = append(out, EnumerateCuckoo(full)...)
+	if full {
+		out = append(out, EnumerateClassic()...)
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid is the (n, tw) experiment grid of §6. The paper scans
+// n = ⌊2^(i+j·0.0625)⌋ for i ∈ [10,27], j ∈ [0,15] and tw = 2^i for
+// i ∈ [4,31].
+type Grid struct {
+	Ns  []uint64  // problem sizes (build-side key counts)
+	Tws []float64 // work saved per true-negative lookup, in cycles
+}
+
+// DefaultGrid returns the experiment grid. full selects the paper's
+// resolution on the n axis (16 sub-steps per octave); otherwise one point
+// per octave is used, which preserves the skyline shape at 1/16 the cost.
+func DefaultGrid(full bool) Grid {
+	var g Grid
+	jStep := 16
+	if full {
+		jStep = 1
+	}
+	for i := 10; i <= 27; i++ {
+		for j := 0; j < 16; j += jStep {
+			g.Ns = append(g.Ns, uint64(math.Pow(2, float64(i)+float64(j)*0.0625)))
+		}
+	}
+	for i := 4; i <= 31; i++ {
+		g.Tws = append(g.Tws, math.Pow(2, float64(i)))
+	}
+	return g
+}
+
+// SweepOpts controls the m-axis of the sweep.
+type SweepOpts struct {
+	// MinBitsPerKey and MaxBitsPerKey bound the memory budget (the paper
+	// scans m ∈ [4n, 20n]).
+	MinBitsPerKey, MaxBitsPerKey float64
+	// MStepsPerOctave is the number of size points per doubling of m (the
+	// paper uses 10: powers of two plus nine intermediates).
+	MStepsPerOctave int
+	// MaxExactBytes caps the exact structure's footprint; beyond it the
+	// exact option is "too large & expensive" (Fig. 1) and is skipped.
+	// Zero disables the exact option entirely.
+	MaxExactBytes uint64
+}
+
+// DefaultSweepOpts mirrors the paper's protocol with a 4-step m axis.
+func DefaultSweepOpts() SweepOpts {
+	return SweepOpts{
+		MinBitsPerKey:   4,
+		MaxBitsPerKey:   20,
+		MStepsPerOctave: 4,
+		MaxExactBytes:   0,
+	}
+}
+
+// Best is the winning entry for one kind in one (n, tw) cell.
+type Best struct {
+	Config Config
+	MBits  uint64  // actual filter size
+	F      float64 // analytic false-positive rate
+	Tl     float64 // lookup cycles
+	Rho    float64 // overhead (Eq. 1)
+}
+
+// Cell records the per-kind optima for one (n, tw) point.
+type Cell struct {
+	ByKind [numKinds]Best
+}
+
+// Winner returns the best kind among the given candidates (all kinds if
+// none specified). Kinds with no feasible configuration have Rho = +Inf.
+func (c Cell) Winner(kinds ...Kind) (Kind, Best) {
+	if len(kinds) == 0 {
+		kinds = []Kind{KindBlockedBloom, KindClassicBloom, KindCuckoo, KindExact}
+	}
+	bestKind := kinds[0]
+	best := c.ByKind[kinds[0]]
+	for _, k := range kinds[1:] {
+		if c.ByKind[k].Rho < best.Rho {
+			bestKind, best = k, c.ByKind[k]
+		}
+	}
+	return bestKind, best
+}
+
+// Speedup returns ρ(loser)/ρ(winner) between the two primary families —
+// the quantity plotted in Figure 11a.
+func (c Cell) Speedup() float64 {
+	b, k := c.ByKind[KindBlockedBloom].Rho, c.ByKind[KindCuckoo].Rho
+	if b <= 0 || k <= 0 || math.IsInf(b, 1) || math.IsInf(k, 1) {
+		return 1
+	}
+	if b < k {
+		return k / b
+	}
+	return b / k
+}
+
+// Skyline is the full sweep result: Cells[ni][ti] corresponds to
+// (Grid.Ns[ni], Grid.Tws[ti]).
+type Skyline struct {
+	Grid  Grid
+	Cells [][]Cell
+	Model string // cost model used
+}
+
+// fprCacheKey memoizes FPR evaluations: the analytic models depend only on
+// the configuration and the bits-per-key ratio, so evaluations repeat
+// heavily across the n axis. bpk is quantized to 2^-10.
+type fprCacheKey struct {
+	cfg     int
+	bpkMill uint64
+}
+
+// ComputeSkyline runs the §6 protocol: for every configuration, problem
+// size and memory budget, evaluate (f, tl), then for every tw keep the
+// per-kind configuration minimizing ρ. Exact structures are sized by n and
+// participate only when within opts.MaxExactBytes.
+func ComputeSkyline(grid Grid, configs []Config, cost CostModel, opts SweepOpts) *Skyline {
+	sky := &Skyline{Grid: grid, Model: cost.Name()}
+	sky.Cells = make([][]Cell, len(grid.Ns))
+	for ni := range sky.Cells {
+		sky.Cells[ni] = make([]Cell, len(grid.Tws))
+		for ti := range sky.Cells[ni] {
+			for k := range sky.Cells[ni][ti].ByKind {
+				sky.Cells[ni][ti].ByKind[k].Rho = math.Inf(1)
+			}
+		}
+	}
+
+	fprCache := make(map[fprCacheKey]float64, 1<<16)
+	mRatios := sizeRatios(opts)
+
+	for ci, cfg := range configs {
+		if cfg.Kind == KindExact {
+			continue // handled below, sized by n
+		}
+		for ni, n := range grid.Ns {
+			seen := make(map[uint64]bool, len(mRatios))
+			for _, ratio := range mRatios {
+				desired := uint64(ratio * float64(n))
+				actual := cfg.ActualBits(desired)
+				if seen[actual] {
+					continue
+				}
+				seen[actual] = true
+				bpk := float64(actual) / float64(n)
+				// Power-of-two rounding can overshoot the budget by up to
+				// 2×; the paper's pow2 configurations simply cannot hit
+				// intermediate sizes, so enforce the budget on actuals.
+				if bpk > opts.MaxBitsPerKey*1.0001 || bpk < opts.MinBitsPerKey*0.999 {
+					continue
+				}
+				if !cfg.Feasible(actual, n) {
+					continue
+				}
+				key := fprCacheKey{ci, uint64(bpk * 1024)}
+				f, ok := fprCache[key]
+				if !ok {
+					f = cfg.FPR(actual, n)
+					fprCache[key] = f
+				}
+				tl := cost.LookupCycles(cfg, actual)
+				for ti, tw := range grid.Tws {
+					rho := Overhead(tl, f, tw)
+					b := &sky.Cells[ni][ti].ByKind[cfg.Kind]
+					if rho < b.Rho {
+						*b = Best{Config: cfg, MBits: actual, F: f, Tl: tl, Rho: rho}
+					}
+				}
+			}
+		}
+	}
+
+	if opts.MaxExactBytes > 0 {
+		exact := Config{Kind: KindExact}
+		for ni, n := range grid.Ns {
+			mBits := ExactBits(n)
+			if mBits/8 > opts.MaxExactBytes {
+				continue
+			}
+			tl := cost.LookupCycles(exact, mBits)
+			for ti := range grid.Tws {
+				b := &sky.Cells[ni][ti].ByKind[KindExact]
+				if tl < b.Rho {
+					*b = Best{Config: exact, MBits: mBits, F: 0, Tl: tl, Rho: tl}
+				}
+			}
+		}
+	}
+	return sky
+}
+
+// sizeRatios returns the bits-per-key grid (geometric, MStepsPerOctave
+// points per doubling, inclusive of both bounds).
+func sizeRatios(opts SweepOpts) []float64 {
+	var rs []float64
+	steps := opts.MStepsPerOctave
+	if steps < 1 {
+		steps = 1
+	}
+	factor := math.Pow(2, 1/float64(steps))
+	for r := opts.MinBitsPerKey; r < opts.MaxBitsPerKey*1.0001; r *= factor {
+		rs = append(rs, r)
+	}
+	if last := rs[len(rs)-1]; last < opts.MaxBitsPerKey {
+		rs = append(rs, opts.MaxBitsPerKey)
+	}
+	return rs
+}
+
+// RenderTypeMap draws the Figure 10-style ASCII map: rows are problem
+// sizes (descending), columns are tw values, and each cell shows the
+// winning family between blocked Bloom (B) and Cuckoo (C); '.' marks cells
+// where neither family had a feasible configuration.
+func (s *Skyline) RenderTypeMap() string {
+	out := fmt.Sprintf("skyline (%s): rows n=2^10..2^%d (bottom-up), cols tw=2^4..2^31\n",
+		s.Model, 10+len(s.Grid.Ns)-1)
+	for ni := len(s.Grid.Ns) - 1; ni >= 0; ni-- {
+		row := make([]byte, len(s.Grid.Tws))
+		for ti := range s.Grid.Tws {
+			kind, best := s.Cells[ni][ti].Winner(KindBlockedBloom, KindCuckoo)
+			switch {
+			case math.IsInf(best.Rho, 1):
+				row[ti] = '.'
+			case kind == KindBlockedBloom:
+				row[ti] = 'B'
+			default:
+				row[ti] = 'C'
+			}
+		}
+		out += fmt.Sprintf("n=2^%-3d %s\n", 10+ni, string(row))
+	}
+	return out
+}
+
+// CrossoverTw returns, for each problem size, the smallest tw at which the
+// Cuckoo filter overtakes the blocked Bloom filter (the Figure 10 boundary),
+// or +Inf if Bloom wins the whole row.
+func (s *Skyline) CrossoverTw() []float64 {
+	cross := make([]float64, len(s.Grid.Ns))
+	for ni := range s.Grid.Ns {
+		cross[ni] = math.Inf(1)
+		for ti, tw := range s.Grid.Tws {
+			kind, best := s.Cells[ni][ti].Winner(KindBlockedBloom, KindCuckoo)
+			if kind == KindCuckoo && !math.IsInf(best.Rho, 1) {
+				cross[ni] = tw
+				break
+			}
+		}
+	}
+	return cross
+}

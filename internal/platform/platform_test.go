@@ -1,0 +1,61 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDetectSane(t *testing.T) {
+	info := Detect()
+	if info.Name == "" {
+		t.Fatal("empty platform name")
+	}
+	if info.Cores < 1 {
+		t.Fatalf("cores = %d", info.Cores)
+	}
+	if info.L1 < 8<<10 || info.L1 > 1<<20 {
+		t.Fatalf("implausible L1 = %d", info.L1)
+	}
+	if info.L2 < info.L1 {
+		t.Fatalf("L2 (%d) smaller than L1 (%d)", info.L2, info.L1)
+	}
+	if info.CyclesPerNs < 0.5 || info.CyclesPerNs > 6 {
+		t.Fatalf("cycle rate %.2f outside clamp", info.CyclesPerNs)
+	}
+}
+
+func TestCyclesConversion(t *testing.T) {
+	info := Info{CyclesPerNs: 3}
+	if got := info.Cycles(10 * time.Nanosecond); got != 30 {
+		t.Fatalf("Cycles = %v", got)
+	}
+}
+
+func TestEstimateStability(t *testing.T) {
+	a := EstimateCyclesPerNs()
+	b := EstimateCyclesPerNs()
+	ratio := a / b
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("estimates unstable: %.2f vs %.2f", a, b)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	info := Info{Name: "testcpu", L1: 32 << 10, L2: 1 << 20, L3: 0, Cores: 4, CyclesPerNs: 2.5}
+	s := info.String()
+	for _, want := range []string{"testcpu", "32KiB", "1MiB", "-", "cores=4"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := map[uint64]string{0: "-", 512: "512B", 32 << 10: "32KiB", 14 << 20: "14MiB"}
+	for in, want := range cases {
+		if got := fmtBytes(in); got != want {
+			t.Fatalf("fmtBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

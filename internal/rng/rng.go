@@ -1,0 +1,147 @@
+// Package rng provides the deterministic pseudo-random generators used by
+// the workload generator and the filters themselves.
+//
+// The paper generates its evaluation data ("random 32-bit integers, uniformly
+// distributed") with the Mersenne Twister engine from the C++ standard
+// library; MT19937 is reimplemented here so workloads match the paper's
+// construction. SplitMix64 provides cheap, high-quality seeding and is also
+// used where a small fast generator is sufficient (e.g., choosing the victim
+// slot during cuckoo relocation).
+package rng
+
+// MT19937 is the 32-bit Mersenne Twister (Matsumoto & Nishimura, 1998) with
+// the standard parameter set, equivalent to C++'s std::mt19937.
+type MT19937 struct {
+	state [624]uint32
+	index int
+}
+
+const (
+	mtN          = 624
+	mtM          = 397
+	mtMatrixA    = 0x9908b0df
+	mtUpperMask  = 0x80000000
+	mtLowerMask  = 0x7fffffff
+	mtInitMult   = 1812433253
+	mtDefaultKey = 5489
+)
+
+// NewMT19937 returns a generator seeded like std::mt19937(seed).
+func NewMT19937(seed uint32) *MT19937 {
+	m := &MT19937{}
+	m.Seed(seed)
+	return m
+}
+
+// Seed reinitializes the generator state from a 32-bit seed using the
+// reference initialization routine.
+func (m *MT19937) Seed(seed uint32) {
+	m.state[0] = seed
+	for i := 1; i < mtN; i++ {
+		m.state[i] = mtInitMult*(m.state[i-1]^(m.state[i-1]>>30)) + uint32(i)
+	}
+	m.index = mtN
+}
+
+// Uint32 returns the next 32-bit output of the generator.
+func (m *MT19937) Uint32() uint32 {
+	if m.index >= mtN {
+		m.generate()
+	}
+	y := m.state[m.index]
+	m.index++
+	// Tempering.
+	y ^= y >> 11
+	y ^= (y << 7) & 0x9d2c5680
+	y ^= (y << 15) & 0xefc60000
+	y ^= y >> 18
+	return y
+}
+
+// generate refills the state array (the "twist" step).
+func (m *MT19937) generate() {
+	for i := 0; i < mtN; i++ {
+		y := (m.state[i] & mtUpperMask) | (m.state[(i+1)%mtN] & mtLowerMask)
+		next := m.state[(i+mtM)%mtN] ^ (y >> 1)
+		if y&1 != 0 {
+			next ^= mtMatrixA
+		}
+		m.state[i] = next
+	}
+	m.index = 0
+}
+
+// Uint64 combines two 32-bit outputs, high word first, matching the common
+// idiom for drawing 64-bit values from a 32-bit engine.
+func (m *MT19937) Uint64() uint64 {
+	hi := uint64(m.Uint32())
+	lo := uint64(m.Uint32())
+	return hi<<32 | lo
+}
+
+// Uint32n returns a uniform value in [0, n) using Lemire's multiply-shift
+// rejection method. n must be > 0.
+func (m *MT19937) Uint32n(n uint32) uint32 {
+	if n == 0 {
+		panic("rng: Uint32n with n == 0")
+	}
+	x := m.Uint32()
+	mul := uint64(x) * uint64(n)
+	lo := uint32(mul)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			x = m.Uint32()
+			mul = uint64(x) * uint64(n)
+			lo = uint32(mul)
+		}
+	}
+	return uint32(mul >> 32)
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 random bits.
+func (m *MT19937) Float64() float64 {
+	return float64(m.Uint64()>>11) / (1 << 53)
+}
+
+// SplitMix64 is Steele et al.'s 64-bit mixing generator. Its state update is
+// a single addition, making it essentially free; the output function is a
+// strong 64-bit finalizer. It is used for seeding and for the small amount
+// of randomness the filters themselves need.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator with the given initial state.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next output.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	return Mix64(s.state)
+}
+
+// Uint32 returns the upper 32 bits of the next 64-bit output (the
+// better-mixed half).
+func (s *SplitMix64) Uint32() uint32 {
+	return uint32(s.Uint64() >> 32)
+}
+
+// Uint32n returns a uniform value in [0, n); n must be > 0.
+func (s *SplitMix64) Uint32n(n uint32) uint32 {
+	if n == 0 {
+		panic("rng: Uint32n with n == 0")
+	}
+	return uint32((uint64(s.Uint32()) * uint64(n)) >> 32)
+}
+
+// Mix64 is the SplitMix64 output finalizer: a fixed 64-bit permutation with
+// full avalanche. Exposed because the hashing substrate reuses it to stretch
+// a key's hash into an arbitrarily long bit stream.
+func Mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

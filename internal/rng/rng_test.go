@@ -1,0 +1,209 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Reference outputs of std::mt19937 seeded with 5489 (the C++ default seed).
+// The 10000th output (index 9999) being 4123659995 is the classic
+// cross-implementation check published with the reference code.
+func TestMT19937ReferenceSequence(t *testing.T) {
+	m := NewMT19937(5489)
+	want := []uint32{
+		3499211612, 581869302, 3890346734, 3586334585, 545404204,
+		4161255391, 3922919429, 949333985, 2715962298, 1323567403,
+	}
+	for i, w := range want {
+		if got := m.Uint32(); got != w {
+			t.Fatalf("output %d: got %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestMT19937TenThousandth(t *testing.T) {
+	m := NewMT19937(5489)
+	var v uint32
+	for i := 0; i < 10000; i++ {
+		v = m.Uint32()
+	}
+	if v != 4123659995 {
+		t.Fatalf("10000th output: got %d, want 4123659995", v)
+	}
+}
+
+func TestMT19937SeedDeterminism(t *testing.T) {
+	a := NewMT19937(12345)
+	b := NewMT19937(12345)
+	for i := 0; i < 2000; i++ {
+		if x, y := a.Uint32(), b.Uint32(); x != y {
+			t.Fatalf("divergence at %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestMT19937Reseed(t *testing.T) {
+	m := NewMT19937(42)
+	first := make([]uint32, 100)
+	for i := range first {
+		first[i] = m.Uint32()
+	}
+	m.Seed(42)
+	for i := range first {
+		if got := m.Uint32(); got != first[i] {
+			t.Fatalf("reseed mismatch at %d", i)
+		}
+	}
+}
+
+func TestMT19937DifferentSeedsDiffer(t *testing.T) {
+	a := NewMT19937(1)
+	b := NewMT19937(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("seeds 1 and 2 produced %d/1000 identical outputs", same)
+	}
+}
+
+func TestUint32nBounds(t *testing.T) {
+	m := NewMT19937(7)
+	for _, n := range []uint32{1, 2, 3, 10, 1000, 1 << 20, 1<<31 + 3} {
+		for i := 0; i < 200; i++ {
+			if v := m.Uint32n(n); v >= n {
+				t.Fatalf("Uint32n(%d) returned %d", n, v)
+			}
+		}
+	}
+}
+
+func TestUint32nOneIsZero(t *testing.T) {
+	m := NewMT19937(9)
+	for i := 0; i < 100; i++ {
+		if v := m.Uint32n(1); v != 0 {
+			t.Fatalf("Uint32n(1) = %d", v)
+		}
+	}
+}
+
+func TestUint32nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMT19937(1).Uint32n(0)
+}
+
+func TestUint32nRoughUniformity(t *testing.T) {
+	m := NewMT19937(1234)
+	const n = 8
+	const draws = 80000
+	var buckets [n]int
+	for i := 0; i < draws; i++ {
+		buckets[m.Uint32n(n)]++
+	}
+	want := draws / n
+	for i, c := range buckets {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d has %d draws, expected ~%d", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	m := NewMT19937(99)
+	for i := 0; i < 10000; i++ {
+		f := m.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestSplitMix64Known(t *testing.T) {
+	// Reference values for seed 1234567 from the public-domain C version.
+	s := NewSplitMix64(1234567)
+	got := []uint64{s.Uint64(), s.Uint64(), s.Uint64()}
+	want := []uint64{6457827717110365317, 3203168211198807973, 9817491932198370423}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitmix64 output %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSplitMix64Determinism(t *testing.T) {
+	a, b := NewSplitMix64(77), NewSplitMix64(77)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Mix64 is a permutation of uint64; sampled collisions would disprove it.
+	seen := make(map[uint64]uint64, 4096)
+	for i := uint64(0); i < 4096; i++ {
+		v := Mix64(i * 0x9E3779B97F4A7C15)
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("Mix64 collision: inputs %d and %d", prev, i)
+		}
+		seen[v] = i
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	if err := quick.Check(func(x uint64) bool {
+		base := Mix64(x)
+		flipped := Mix64(x ^ 1)
+		diff := popcount64(base ^ flipped)
+		return diff >= 10 && diff <= 54
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitMixUint32nBounds(t *testing.T) {
+	s := NewSplitMix64(5)
+	for _, n := range []uint32{1, 7, 100, 1 << 30} {
+		for i := 0; i < 100; i++ {
+			if v := s.Uint32n(n); v >= n {
+				t.Fatalf("Uint32n(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func popcount64(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func BenchmarkMT19937(b *testing.B) {
+	m := NewMT19937(1)
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink = m.Uint32()
+	}
+	_ = sink
+}
+
+func BenchmarkSplitMix64(b *testing.B) {
+	s := NewSplitMix64(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = s.Uint64()
+	}
+	_ = sink
+}

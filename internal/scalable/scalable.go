@@ -1,0 +1,205 @@
+// Package scalable implements a scalable Bloom filter (the growth scheme
+// of Almeida et al., cited as [3] in the paper's related work): when the
+// build-side cardinality n is unknown, the filter starts small and appends
+// a new, larger stage whenever the current stage reaches its design load.
+// Each stage's false-positive budget shrinks geometrically, so the
+// compound FPR stays below a configured ceiling no matter how far the
+// filter grows; the price is that lookups must consult every stage — the
+// "more expensive membership tests" trade-off the paper points out.
+//
+// Stages are cache-sectorized blocked Bloom filters (the paper's
+// best-performing general-purpose variant), so each stage lookup stays a
+// single cache line.
+package scalable
+
+import (
+	"fmt"
+	"math"
+
+	"perfilter/internal/blocked"
+	"perfilter/internal/core"
+	"perfilter/internal/fpr"
+	"perfilter/internal/simd"
+)
+
+// Options configures a scalable filter.
+type Options struct {
+	// InitialCapacity is the key capacity of the first stage.
+	InitialCapacity uint64
+	// TargetFPR is the compound false-positive ceiling (the sum of the
+	// stage budgets converges below this).
+	TargetFPR float64
+	// GrowthFactor scales each new stage's capacity (default 2).
+	GrowthFactor float64
+	// TighteningRatio scales each new stage's FPR budget (default 0.5).
+	TighteningRatio float64
+}
+
+// DefaultOptions returns the customary parameters (×2 growth, ×0.5
+// tightening).
+func DefaultOptions(capacity uint64, targetFPR float64) Options {
+	return Options{
+		InitialCapacity: capacity,
+		TargetFPR:       targetFPR,
+		GrowthFactor:    2,
+		TighteningRatio: 0.5,
+	}
+}
+
+// stage is one fixed-size filter plus its design limits.
+type stage struct {
+	filter   blocked.Probe
+	capacity uint64
+	inserted uint64
+	fprGoal  float64
+}
+
+// Filter is a scalable Bloom filter. Not safe for concurrent writes.
+type Filter struct {
+	opts   Options
+	stages []stage
+}
+
+// New validates options and creates the first stage.
+func New(opts Options) (*Filter, error) {
+	if opts.InitialCapacity == 0 {
+		return nil, fmt.Errorf("scalable: capacity must be positive")
+	}
+	if opts.TargetFPR <= 0 || opts.TargetFPR >= 1 {
+		return nil, fmt.Errorf("scalable: target FPR must be in (0,1)")
+	}
+	if opts.GrowthFactor == 0 {
+		opts.GrowthFactor = 2
+	}
+	if opts.TighteningRatio == 0 {
+		opts.TighteningRatio = 0.5
+	}
+	if opts.GrowthFactor < 1.2 || opts.TighteningRatio <= 0 || opts.TighteningRatio >= 1 {
+		return nil, fmt.Errorf("scalable: invalid growth (%v) or tightening (%v)",
+			opts.GrowthFactor, opts.TighteningRatio)
+	}
+	f := &Filter{opts: opts}
+	// First stage budget: target·(1−r) so the geometric series of stage
+	// budgets sums to the target.
+	if err := f.addStage(opts.InitialCapacity, opts.TargetFPR*(1-opts.TighteningRatio)); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// addStage appends a stage sized for capacity keys at the given FPR goal.
+func (f *Filter) addStage(capacity uint64, fprGoal float64) error {
+	bpk := bitsPerKeyFor(fprGoal)
+	p := blocked.CacheSectorizedParams(64, 512, 2, kFor(bpk), true)
+	filt, err := blocked.New(p, uint64(math.Ceil(bpk*float64(capacity))))
+	if err != nil {
+		return err
+	}
+	f.stages = append(f.stages, stage{filter: filt, capacity: capacity, fprGoal: fprGoal})
+	return nil
+}
+
+// bitsPerKeyFor inverts the cache-sectorized FPR model numerically: the
+// smallest bits-per-key whose model FPR (at the stage's k) meets the goal.
+func bitsPerKeyFor(goal float64) float64 {
+	for bpk := 6.0; bpk <= 40; bpk += 0.5 {
+		if fpr.CacheSectorized(bpk, 1, kFor(bpk), 512, 64, 2) <= goal {
+			return bpk
+		}
+	}
+	return 40
+}
+
+// kFor picks the stage's hash count: k=8 is the cache-sectorized sweet
+// spot (§6); very tight budgets use k=16.
+func kFor(bpk float64) uint32 {
+	if bpk > 24 {
+		return 16
+	}
+	return 8
+}
+
+// Insert adds a key, growing the filter if the current stage is full.
+func (f *Filter) Insert(key core.Key) error {
+	cur := &f.stages[len(f.stages)-1]
+	if cur.inserted >= cur.capacity {
+		nextCap := uint64(float64(cur.capacity) * f.opts.GrowthFactor)
+		if nextCap <= cur.capacity {
+			nextCap = cur.capacity + 1
+		}
+		if err := f.addStage(nextCap, cur.fprGoal*f.opts.TighteningRatio); err != nil {
+			return err
+		}
+		cur = &f.stages[len(f.stages)-1]
+	}
+	cur.filter.Insert(key)
+	cur.inserted++
+	return nil
+}
+
+// Contains consults every stage, newest first (recent keys are the likely
+// hits in growing workloads).
+func (f *Filter) Contains(key core.Key) bool {
+	for i := len(f.stages) - 1; i >= 0; i-- {
+		if f.stages[i].filter.Contains(key) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsBatch implements the shared batched contract.
+func (f *Filter) ContainsBatch(keys []core.Key, sel core.SelVec) core.SelVec {
+	buf, cnt := simd.GrowSel(sel, len(keys))
+	for i, key := range keys {
+		buf[cnt] = uint32(i)
+		cnt += simd.B2I(f.Contains(key))
+	}
+	return buf[:cnt]
+}
+
+// SizeBits returns the total footprint across stages.
+func (f *Filter) SizeBits() uint64 {
+	var total uint64
+	for _, s := range f.stages {
+		total += s.filter.SizeBits()
+	}
+	return total
+}
+
+// FPR returns the compound analytic false-positive rate at the current
+// fill: 1 − Π(1 − f_i).
+func (f *Filter) FPR(uint64) float64 {
+	pass := 1.0
+	for _, s := range f.stages {
+		pass *= 1 - s.filter.FPR(s.inserted)
+	}
+	return 1 - pass
+}
+
+// Stages returns the number of stages (diagnostics).
+func (f *Filter) Stages() int { return len(f.stages) }
+
+// Count returns the total number of inserted keys.
+func (f *Filter) Count() uint64 {
+	var n uint64
+	for _, s := range f.stages {
+		n += s.inserted
+	}
+	return n
+}
+
+// Reset clears back to a single empty first stage.
+func (f *Filter) Reset() {
+	first := f.stages[0]
+	first.filter.Reset()
+	first.inserted = 0
+	f.stages = f.stages[:1]
+	f.stages[0] = first
+}
+
+// String describes the filter.
+func (f *Filter) String() string {
+	return fmt.Sprintf("bloom/scalable[stages=%d,n=%d,target=%.2g]",
+		len(f.stages), f.Count(), f.opts.TargetFPR)
+}

@@ -1,0 +1,159 @@
+package scalable
+
+import (
+	"testing"
+
+	"perfilter/internal/rng"
+)
+
+func TestNoFalseNegativesAcrossGrowth(t *testing.T) {
+	f, err := New(DefaultOptions(1000, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.NewMT19937(1)
+	keys := make([]uint32, 20000) // forces several growth steps
+	for i := range keys {
+		keys[i] = r.Uint32()
+		if err := f.Insert(keys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Stages() < 3 {
+		t.Fatalf("expected growth, got %d stages", f.Stages())
+	}
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for %d", k)
+		}
+	}
+	if f.Count() != 20000 {
+		t.Fatalf("Count=%d", f.Count())
+	}
+}
+
+func TestCompoundFPRBelowTarget(t *testing.T) {
+	const target = 0.01
+	f, err := New(DefaultOptions(2000, target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.NewMT19937(2)
+	inserted := map[uint32]bool{}
+	for len(inserted) < 30000 {
+		k := r.Uint32()
+		if !inserted[k] {
+			inserted[k] = true
+			if err := f.Insert(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Analytic compound FPR stays below target even after 4+ doublings.
+	if got := f.FPR(0); got > target {
+		t.Fatalf("compound model FPR %.5f exceeds target %.5f", got, target)
+	}
+	// Measured FPR within model + sampling tolerance.
+	fp, tested := 0, 0
+	for tested < 1<<17 {
+		k := r.Uint32()
+		if inserted[k] {
+			continue
+		}
+		tested++
+		if f.Contains(k) {
+			fp++
+		}
+	}
+	measured := float64(fp) / float64(tested)
+	if measured > target*1.3+0.002 {
+		t.Fatalf("measured FPR %.5f vs target %.5f", measured, target)
+	}
+}
+
+func TestBatchMatchesScalar(t *testing.T) {
+	f, _ := New(DefaultOptions(500, 0.02))
+	r := rng.NewMT19937(3)
+	for i := 0; i < 3000; i++ {
+		f.Insert(r.Uint32())
+	}
+	probe := make([]uint32, 999)
+	for i := range probe {
+		probe[i] = r.Uint32()
+	}
+	sel := f.ContainsBatch(probe, nil)
+	j := 0
+	for i, k := range probe {
+		want := f.Contains(k)
+		got := j < len(sel) && sel[j] == uint32(i)
+		if got != want {
+			t.Fatalf("pos %d mismatch", i)
+		}
+		if got {
+			j++
+		}
+	}
+}
+
+func TestStageBudgetsTighten(t *testing.T) {
+	f, _ := New(DefaultOptions(100, 0.01))
+	r := rng.NewMT19937(4)
+	for i := 0; i < 2000; i++ {
+		f.Insert(r.Uint32())
+	}
+	for i := 1; i < len(f.stages); i++ {
+		if f.stages[i].fprGoal >= f.stages[i-1].fprGoal {
+			t.Fatal("stage budgets must tighten geometrically")
+		}
+		if f.stages[i].capacity <= f.stages[i-1].capacity {
+			t.Fatal("stage capacities must grow")
+		}
+	}
+}
+
+func TestSizeGrowsSublinearlyInStages(t *testing.T) {
+	f, _ := New(DefaultOptions(1000, 0.01))
+	r := rng.NewMT19937(5)
+	size0 := f.SizeBits()
+	for i := 0; i < 10000; i++ {
+		f.Insert(r.Uint32())
+	}
+	if f.SizeBits() <= size0 {
+		t.Fatal("size did not grow")
+	}
+	// Bits per key stays bounded: tightening adds ~constant bpk per stage.
+	bpk := float64(f.SizeBits()) / float64(f.Count())
+	if bpk > 64 {
+		t.Fatalf("bits per key exploded: %.1f", bpk)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Options{
+		{InitialCapacity: 0, TargetFPR: 0.01},
+		{InitialCapacity: 10, TargetFPR: 0},
+		{InitialCapacity: 10, TargetFPR: 1.5},
+		{InitialCapacity: 10, TargetFPR: 0.01, GrowthFactor: 1.0},
+		{InitialCapacity: 10, TargetFPR: 0.01, GrowthFactor: 2, TighteningRatio: 1.5},
+	}
+	for i, o := range bad {
+		if _, err := New(o); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	f, _ := New(DefaultOptions(100, 0.01))
+	r := rng.NewMT19937(6)
+	for i := 0; i < 1000; i++ {
+		f.Insert(r.Uint32())
+	}
+	f.Reset()
+	if f.Stages() != 1 || f.Count() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	if f.Contains(123) {
+		t.Fatal("containment after reset")
+	}
+}

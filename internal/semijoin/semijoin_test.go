@@ -1,0 +1,185 @@
+package semijoin
+
+import (
+	"testing"
+
+	"perfilter/internal/blocked"
+	"perfilter/internal/core"
+	"perfilter/internal/join"
+	"perfilter/internal/workload"
+)
+
+// bloomFactory builds a per-partition cache-sectorized Bloom filter at 16
+// bits per key.
+func bloomFactory(keys []core.Key) (core.BatchProber, uint64) {
+	n := uint64(len(keys))
+	if n == 0 {
+		n = 1
+	}
+	f, err := blocked.New(blocked.CacheSectorizedParams(64, 512, 2, 8, true), n*16)
+	if err != nil {
+		panic(err)
+	}
+	for _, k := range keys {
+		f.Insert(k)
+	}
+	return f, f.SizeBits()
+}
+
+func setup(t *testing.T, workers, n, probes int, sigma float64) (*Cluster, *workload.BuildProbe) {
+	t.Helper()
+	bp := workload.NewBuildProbe(n, probes, sigma, 31)
+	return NewCluster(workers, bp.Build, DefaultNetCost()), bp
+}
+
+func expectedAgg(bp *workload.BuildProbe) (matches, agg uint64) {
+	ht := join.BuildHashTable(bp.Build, join.Payloads(bp.Build))
+	for _, k := range bp.Probe {
+		if p, ok := ht.Probe(k); ok {
+			matches++
+			agg += p
+		}
+	}
+	return matches, agg
+}
+
+func TestResultsMatchSingleNodeJoin(t *testing.T) {
+	c, bp := setup(t, 4, 5000, 20000, 0.2)
+	wantMatches, wantAgg := expectedAgg(bp)
+
+	noFilter := c.Run(bp.Probe)
+	if noFilter.Matches != wantMatches || noFilter.Agg != wantAgg {
+		t.Fatalf("unfiltered: got (%d,%d), want (%d,%d)",
+			noFilter.Matches, noFilter.Agg, wantMatches, wantAgg)
+	}
+
+	c.InstallFilters(bp.Build, bloomFactory)
+	filtered := c.Run(bp.Probe)
+	if filtered.Matches != wantMatches || filtered.Agg != wantAgg {
+		t.Fatalf("filtered: got (%d,%d), want (%d,%d)",
+			filtered.Matches, filtered.Agg, wantMatches, wantAgg)
+	}
+}
+
+func TestFilterSuppressesTraffic(t *testing.T) {
+	c, bp := setup(t, 4, 5000, 40000, 0.1)
+	before := c.Run(bp.Probe)
+	c.InstallFilters(bp.Build, bloomFactory)
+	after := c.Run(bp.Probe)
+
+	if after.TuplesShipped >= before.TuplesShipped {
+		t.Fatalf("filter did not reduce traffic: %d vs %d",
+			after.TuplesShipped, before.TuplesShipped)
+	}
+	// At σ=0.1 with a good filter, shipped ≈ 10% + f.
+	frac := float64(after.TuplesShipped) / float64(before.TuplesShipped)
+	if frac > 0.15 {
+		t.Fatalf("shipped fraction %.3f, expected ≈0.10", frac)
+	}
+	if after.TuplesSuppressed+after.TuplesShipped != before.TuplesShipped {
+		t.Fatal("suppressed + shipped != total")
+	}
+	if after.NetCycles >= before.NetCycles {
+		t.Fatal("network cost did not shrink")
+	}
+}
+
+func TestBroadcastCostAccounted(t *testing.T) {
+	c, bp := setup(t, 8, 10000, 100, 0.5)
+	bytes := c.InstallFilters(bp.Build, bloomFactory)
+	// 10k keys × 16 bpk = 20 KB of filters, × 8 receiving nodes ≥ 160 KB.
+	if bytes < 8*10000*16/8 {
+		t.Fatalf("broadcast bytes %d implausibly low", bytes)
+	}
+}
+
+func TestSingleWorkerDegenerate(t *testing.T) {
+	c, bp := setup(t, 1, 1000, 5000, 0.3)
+	wantMatches, wantAgg := expectedAgg(bp)
+	got := c.Run(bp.Probe)
+	if got.Matches != wantMatches || got.Agg != wantAgg {
+		t.Fatal("single-worker cluster wrong")
+	}
+	if got.Messages != 1 {
+		t.Fatalf("messages=%d", got.Messages)
+	}
+}
+
+func TestManyWorkersPartitionEverything(t *testing.T) {
+	c, bp := setup(t, 16, 4000, 30000, 0.25)
+	wantMatches, wantAgg := expectedAgg(bp)
+	got := c.Run(bp.Probe)
+	if got.Matches != wantMatches || got.Agg != wantAgg {
+		t.Fatal("16-worker cluster wrong")
+	}
+	if got.TuplesShipped != 30000 {
+		t.Fatalf("shipped %d, want all 30000 without filters", got.TuplesShipped)
+	}
+}
+
+func TestRemoveFilters(t *testing.T) {
+	c, bp := setup(t, 2, 1000, 2000, 0.0)
+	c.InstallFilters(bp.Build, bloomFactory)
+	c.RemoveFilters()
+	got := c.Run(bp.Probe)
+	if got.TuplesSuppressed != 0 || got.TuplesShipped != 2000 {
+		t.Fatal("RemoveFilters did not disable suppression")
+	}
+}
+
+func TestZeroSigmaSuppressesAlmostAll(t *testing.T) {
+	c, bp := setup(t, 4, 5000, 20000, 0.0)
+	c.InstallFilters(bp.Build, bloomFactory)
+	got := c.Run(bp.Probe)
+	if got.Matches != 0 {
+		t.Fatal("phantom matches at σ=0")
+	}
+	if float64(got.TuplesShipped)/20000 > 0.02 {
+		t.Fatalf("shipped %d tuples at σ=0 (false positives only expected)",
+			got.TuplesShipped)
+	}
+}
+
+func TestNetCostModel(t *testing.T) {
+	nc := NetCost{PerMessage: 100, PerTupleBytes: 10, PerByte: 2}
+	if nc.TupleCost(0) != 0 {
+		t.Fatal("empty message should be free")
+	}
+	if nc.TupleCost(5) != 100+5*10*2 {
+		t.Fatalf("TupleCost(5) = %d", nc.TupleCost(5))
+	}
+}
+
+func TestPanicsOnZeroWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCluster(0, []uint32{1}, DefaultNetCost())
+}
+
+func BenchmarkExchange(b *testing.B) {
+	bp := workload.NewBuildProbe(1<<14, 1<<16, 0.1, 5)
+	c := NewCluster(4, bp.Build, DefaultNetCost())
+	b.Run("no-filter", func(b *testing.B) {
+		c.RemoveFilters()
+		for i := 0; i < b.N; i++ {
+			c.Run(bp.Probe)
+		}
+	})
+	b.Run("bloom-broadcast", func(b *testing.B) {
+		c.InstallFilters(bp.Build, func(keys []core.Key) (core.BatchProber, uint64) {
+			f, _ := blocked.New(blocked.CacheSectorizedParams(64, 512, 2, 8, true),
+				uint64(len(keys)+1)*16)
+			for _, k := range keys {
+				f.Insert(k)
+			}
+			return f, f.SizeBits()
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Run(bp.Probe)
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package simd
+
+import "testing"
+
+func TestGrowSelFreshAllocation(t *testing.T) {
+	buf, cnt := GrowSel(nil, 10)
+	if len(buf) != 10 || cnt != 0 {
+		t.Fatalf("len=%d cnt=%d", len(buf), cnt)
+	}
+}
+
+func TestGrowSelPreservesPrefix(t *testing.T) {
+	sel := []uint32{7, 8, 9}
+	buf, cnt := GrowSel(sel, 5)
+	if cnt != 3 || len(buf) != 8 {
+		t.Fatalf("cnt=%d len=%d", cnt, len(buf))
+	}
+	for i, v := range []uint32{7, 8, 9} {
+		if buf[i] != v {
+			t.Fatalf("prefix lost at %d", i)
+		}
+	}
+}
+
+func TestGrowSelReusesCapacity(t *testing.T) {
+	sel := make([]uint32, 2, 16)
+	sel[0], sel[1] = 1, 2
+	buf, cnt := GrowSel(sel, 4)
+	if cnt != 2 || len(buf) != 6 {
+		t.Fatalf("cnt=%d len=%d", cnt, len(buf))
+	}
+	if &buf[0] != &sel[0] {
+		t.Fatal("expected in-place growth within capacity")
+	}
+}
+
+func TestGrowSelZeroAdd(t *testing.T) {
+	sel := []uint32{1}
+	buf, cnt := GrowSel(sel, 0)
+	if cnt != 1 || len(buf) != 1 {
+		t.Fatalf("cnt=%d len=%d", cnt, len(buf))
+	}
+}
+
+func TestB2I(t *testing.T) {
+	if B2I(true) != 1 || B2I(false) != 0 {
+		t.Fatal("B2I broken")
+	}
+}
+
+func TestWidthMatchesAVX2Lanes(t *testing.T) {
+	if Width != 8 {
+		t.Fatalf("Width = %d; kernels and docs assume 8 (AVX2 32-bit lanes)", Width)
+	}
+}

@@ -1,0 +1,193 @@
+// Package workload generates the evaluation workloads of §6: uniformly
+// distributed random 32-bit integer keys produced by a Mersenne Twister
+// (matching the paper's use of the C++ STL engine), probe streams with an
+// exact true-hit rate σ, optional Zipf skew, and a calibrated artificial
+// work loop that stands in for the "work saved" tw in end-to-end
+// experiments.
+package workload
+
+import (
+	"math"
+
+	"perfilter/internal/core"
+	"perfilter/internal/exact"
+	"perfilter/internal/rng"
+)
+
+// BuildProbe is a build-side key set plus a probe stream.
+type BuildProbe struct {
+	// Build holds n distinct keys (the dimension-table side of Fig. 2).
+	Build []core.Key
+	// Probe holds the probe stream; a σ fraction are members of Build.
+	Probe []core.Key
+	// Sigma is the exact fraction of probes with a build-side match.
+	Sigma float64
+}
+
+// NewBuildProbe generates n distinct build keys and probeCount probes of
+// which ⌊σ·probeCount⌉ are uniformly drawn build keys and the rest are
+// guaranteed non-members. Deterministic in seed. n is limited to 2^26 keys
+// (the dedup structures keep everything exact).
+func NewBuildProbe(n, probeCount int, sigma float64, seed uint32) *BuildProbe {
+	if n <= 0 || probeCount < 0 {
+		panic("workload: sizes must be positive")
+	}
+	if n > 1<<26 {
+		panic("workload: n capped at 2^26")
+	}
+	if sigma < 0 || sigma > 1 {
+		panic("workload: sigma must be in [0,1]")
+	}
+	r := rng.NewMT19937(seed)
+	members := exact.New(n)
+	build := make([]core.Key, 0, n)
+	for len(build) < n {
+		k := r.Uint32()
+		if members.Insert(k) {
+			build = append(build, k)
+		}
+	}
+
+	probe := make([]core.Key, probeCount)
+	hits := int(math.Round(sigma * float64(probeCount)))
+	// Choose hit positions by shuffling an index permutation prefix, so
+	// hits are uniformly interleaved (no branch-predictor gifts).
+	perm := make([]int32, probeCount)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	for i := 0; i < hits; i++ {
+		j := i + int(r.Uint32n(uint32(probeCount-i)))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	isHit := make([]bool, probeCount)
+	for i := 0; i < hits; i++ {
+		isHit[perm[i]] = true
+	}
+	for i := range probe {
+		if isHit[i] {
+			probe[i] = build[r.Uint32n(uint32(n))]
+			continue
+		}
+		for {
+			k := r.Uint32()
+			if !members.Contains(k) {
+				probe[i] = k
+				break
+			}
+		}
+	}
+	return &BuildProbe{Build: build, Probe: probe, Sigma: sigma}
+}
+
+// Zipf draws ranks in [0, n) with probability ∝ 1/(rank+1)^s using Knuth's
+// rejection-inversion method (no precomputed tables, O(1) per draw). Used
+// for skewed probe mixes — an extension beyond the paper's uniform keys.
+type Zipf struct {
+	r                *rng.MT19937
+	n                float64
+	s                float64
+	oneMinusS        float64
+	hIntegralX1      float64
+	hIntegralNumberN float64
+	scale            float64
+}
+
+// NewZipf creates a generator over [0, n) with exponent s > 0, s ≠ 1
+// handled together with s == 1 via the integral transform.
+func NewZipf(n uint32, s float64, seed uint32) *Zipf {
+	if n == 0 || s <= 0 {
+		panic("workload: invalid zipf parameters")
+	}
+	z := &Zipf{r: rng.NewMT19937(seed), n: float64(n), s: s, oneMinusS: 1 - s}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralNumberN = z.hIntegral(z.n + 0.5)
+	z.scale = z.hIntegralNumberN - z.hIntegralX1
+	return z
+}
+
+// hIntegral is the antiderivative of x^-s (with the s=1 log special case).
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2(z.oneMinusS*logX) * logX
+}
+
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(-z.s * math.Log(x))
+}
+
+func (z *Zipf) hIntegralInverse(x float64) float64 {
+	t := x * z.oneMinusS
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x with the x→0 series.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*(0.5-x*(1/3.0-x*0.25))
+}
+
+// helper2 computes expm1(x)/x with the x→0 series.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x*(1/3.0)*(1+x*0.25))
+}
+
+// Next returns the next rank in [0, n).
+func (z *Zipf) Next() uint32 {
+	for {
+		u := z.hIntegralNumberN + z.r.Float64()*(-z.scale)
+		// u is uniform in (hIntegralX1, hIntegralNumberN].
+		x := z.hIntegralInverse(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > z.n {
+			k = z.n
+		}
+		if k-x <= 0.5 || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return uint32(k - 1)
+		}
+	}
+}
+
+// Work burns approximately `units` dependent ALU operations (≈1 cycle
+// each): the tunable per-tuple work that stands in for tw in end-to-end
+// experiments (hash-table probes, I/O, network sends). The chain is
+// serially dependent so out-of-order execution cannot collapse it.
+//
+//go:noinline
+func Work(units int) uint64 {
+	x := uint64(0x2545F4914F6CDD1D)
+	for i := 0; i < units; i++ {
+		x += x>>17 ^ 0x9E3779B97F4A7C15
+	}
+	return x
+}
+
+// SelectivityOf measures the exact member fraction of probe against build —
+// a test/diagnostic helper.
+func SelectivityOf(bp *BuildProbe) float64 {
+	set := exact.New(len(bp.Build))
+	for _, k := range bp.Build {
+		set.Insert(k)
+	}
+	hits := 0
+	for _, k := range bp.Probe {
+		if set.Contains(k) {
+			hits++
+		}
+	}
+	if len(bp.Probe) == 0 {
+		return 0
+	}
+	return float64(hits) / float64(len(bp.Probe))
+}

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBuildProbeDistinctBuildKeys(t *testing.T) {
+	bp := NewBuildProbe(5000, 1000, 0.5, 1)
+	seen := map[uint32]bool{}
+	for _, k := range bp.Build {
+		if seen[k] {
+			t.Fatalf("duplicate build key %d", k)
+		}
+		seen[k] = true
+	}
+	if len(bp.Build) != 5000 || len(bp.Probe) != 1000 {
+		t.Fatal("sizes wrong")
+	}
+}
+
+func TestBuildProbeExactSelectivity(t *testing.T) {
+	for _, sigma := range []float64{0, 0.1, 0.5, 0.9, 1.0} {
+		bp := NewBuildProbe(4000, 10000, sigma, 7)
+		got := SelectivityOf(bp)
+		if math.Abs(got-sigma) > 1e-4+0.5/10000 {
+			t.Fatalf("sigma %v: measured %v", sigma, got)
+		}
+	}
+}
+
+func TestBuildProbeDeterminism(t *testing.T) {
+	a := NewBuildProbe(100, 200, 0.3, 42)
+	b := NewBuildProbe(100, 200, 0.3, 42)
+	for i := range a.Build {
+		if a.Build[i] != b.Build[i] {
+			t.Fatal("build keys nondeterministic")
+		}
+	}
+	for i := range a.Probe {
+		if a.Probe[i] != b.Probe[i] {
+			t.Fatal("probe keys nondeterministic")
+		}
+	}
+	c := NewBuildProbe(100, 200, 0.3, 43)
+	same := 0
+	for i := range a.Probe {
+		if a.Probe[i] == c.Probe[i] {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatal("different seeds produced similar streams")
+	}
+}
+
+func TestBuildProbeHitsUniformlyPlaced(t *testing.T) {
+	// The hit positions must not cluster at the front (branch-predictor
+	// neutrality): compare hit counts in the two halves.
+	bp := NewBuildProbe(2000, 20000, 0.5, 3)
+	set := map[uint32]bool{}
+	for _, k := range bp.Build {
+		set[k] = true
+	}
+	firstHalf := 0
+	for i, k := range bp.Probe {
+		if set[k] && i < len(bp.Probe)/2 {
+			firstHalf++
+		}
+	}
+	if firstHalf < 4500 || firstHalf > 5500 {
+		t.Fatalf("hits skewed: %d/10000 in first half", firstHalf)
+	}
+}
+
+func TestBuildProbePanics(t *testing.T) {
+	cases := []func(){
+		func() { NewBuildProbe(0, 10, 0.5, 1) },
+		func() { NewBuildProbe(10, -1, 0.5, 1) },
+		func() { NewBuildProbe(10, 10, -0.1, 1) },
+		func() { NewBuildProbe(10, 10, 1.1, 1) },
+		func() { NewZipf(0, 1, 1) },
+		func() { NewZipf(10, 0, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	z := NewZipf(1000, 1.1, 5)
+	for i := 0; i < 10000; i++ {
+		v := z.Next()
+		if v >= 1000 {
+			t.Fatalf("rank %d out of range", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// With s=1.2 over 10k ranks, the top rank must dominate and the
+	// frequency must decay roughly like a power law.
+	z := NewZipf(10000, 1.2, 9)
+	counts := make([]int, 10000)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] < counts[99]*5 {
+		t.Fatalf("rank 0 (%d) not dominating rank 99 (%d)", counts[0], counts[99])
+	}
+	// Theoretical ratio counts[0]/counts[9] = 10^1.2 ≈ 15.8; allow wide
+	// sampling tolerance.
+	ratio := float64(counts[0]) / float64(counts[9]+1)
+	if ratio < 7 || ratio > 35 {
+		t.Fatalf("rank0/rank9 ratio %.1f, want ≈15.8", ratio)
+	}
+}
+
+func TestZipfNearOne(t *testing.T) {
+	// s=1 exercises the log-integral special case.
+	z := NewZipf(100, 1.0, 2)
+	seen := map[uint32]bool{}
+	for i := 0; i < 20000; i++ {
+		seen[z.Next()] = true
+	}
+	if len(seen) < 90 {
+		t.Fatalf("s=1 zipf covered only %d/100 ranks", len(seen))
+	}
+}
+
+func TestWorkScalesLinearly(t *testing.T) {
+	if Work(0) == 0 {
+		t.Fatal("Work(0) must still return the seed state")
+	}
+	// Work must not be optimized away and must take longer for more units;
+	// verify via monotone growth of a coarse timer would be flaky, so just
+	// confirm different unit counts give different final states.
+	if Work(10) == Work(20) {
+		t.Fatal("work chain collapsed")
+	}
+}
+
+func BenchmarkWork1000(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += Work(1000)
+	}
+	_ = sink
+}
+
+func BenchmarkBuildProbe(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NewBuildProbe(1<<14, 1<<14, 0.1, uint32(i))
+	}
+}

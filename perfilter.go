@@ -1,0 +1,391 @@
+// Package perfilter is a Go implementation of performance-optimal
+// filtering (Lang, Neumann, Kemper, Boncz: "Performance-Optimal Filtering:
+// Bloom Overtakes Cuckoo at High Throughput", PVLDB 12(5), 2019).
+//
+// It provides the paper's filter family — classic, blocked,
+// register-blocked, sectorized and cache-sectorized Bloom filters, cuckoo
+// filters with partial-key cuckoo hashing, and an exact hash set — behind a
+// single batched interface, together with the performance model that picks
+// the configuration minimizing the filtering overhead
+//
+//	ρ(F) = tl(F) + f(F)·tw
+//
+// for a concrete workload (problem size n, work saved per pruned probe tw,
+// true-hit rate σ, memory budget).
+//
+// Quick start:
+//
+//	f, _ := perfilter.NewCacheSectorizedBloom(8, 2, n*16)
+//	for _, k := range buildKeys {
+//		f.Insert(k)
+//	}
+//	sel := f.ContainsBatch(probeKeys, nil) // positions that may match
+//
+// Or let the model choose:
+//
+//	advice, _ := perfilter.Advise(perfilter.Workload{
+//		N: 1e6, Tw: 200, Sigma: 0.1, BitsPerKeyBudget: 16,
+//	})
+//	f, _ := perfilter.New(advice.Config, advice.MBits)
+//
+// All sizes are given and reported in bits; constructors round up to each
+// structure's addressing granularity (powers of two, or "magic modulo"
+// sizes within 0.014% of the request). Filters are safe for concurrent
+// readers; writes need external synchronization.
+package perfilter
+
+import (
+	"fmt"
+
+	"perfilter/internal/blocked"
+	"perfilter/internal/bloom"
+	"perfilter/internal/core"
+	"perfilter/internal/cuckoo"
+	"perfilter/internal/exact"
+	"perfilter/internal/model"
+)
+
+// Key is the key type: 32-bit integers, as in the paper's evaluation.
+// Hash wider keys down to 32 bits before insertion if needed.
+type Key = uint32
+
+// ErrFull is returned by Insert when a cuckoo filter cannot place a key.
+// Bloom filters never return it.
+var ErrFull = cuckoo.ErrFull
+
+// Filter is the unified filter interface (§5 of the paper): scalar and
+// batched membership tests, with the batched form producing a selection
+// vector of matching positions.
+type Filter interface {
+	// Insert adds a key. Only cuckoo filters can fail (ErrFull).
+	Insert(key Key) error
+	// Contains reports whether key may be in the set. Inserted keys are
+	// always reported (no false negatives).
+	Contains(key Key) bool
+	// ContainsBatch appends to sel the positions i for which keys[i] may
+	// be contained and returns the extended slice. Identical results to
+	// calling Contains per key, but amortized per-key cost.
+	ContainsBatch(keys []Key, sel []uint32) []uint32
+	// SizeBits is the actual size in bits after rounding.
+	SizeBits() uint64
+	// FPR is the analytic expected false-positive rate with n keys stored.
+	FPR(n uint64) float64
+	// Reset clears the filter for reuse.
+	Reset()
+	// String describes the configuration.
+	String() string
+}
+
+// Kind selects a filter family.
+type Kind uint8
+
+const (
+	// BlockedBloom covers register-blocked, plain blocked, sectorized and
+	// cache-sectorized Bloom filters, distinguished by Config geometry.
+	BlockedBloom Kind = iota
+	// ClassicBloom is the unblocked Bloom filter baseline.
+	ClassicBloom
+	// Cuckoo is the cuckoo filter (supports Delete; see CuckooFilter).
+	Cuckoo
+	// Exact is a Robin Hood hash set: no false positives, ~64+ bits/key.
+	Exact
+)
+
+func (k Kind) String() string {
+	switch k {
+	case BlockedBloom:
+		return "bloom"
+	case ClassicBloom:
+		return "classic"
+	case Cuckoo:
+		return "cuckoo"
+	case Exact:
+		return "exact"
+	default:
+		return "invalid"
+	}
+}
+
+// Config describes a filter configuration in the paper's parameter space.
+// Zero-valued fields that don't apply to the Kind are ignored.
+type Config struct {
+	Kind Kind
+
+	// Bloom geometry (BlockedBloom): word size W ∈ {32,64}, block size
+	// B ∈ {32..512} bits, sector size S | B, sector groups Z, hash count K.
+	// See internal/blocked for the variant semantics.
+	WordBits   uint32
+	BlockBits  uint32
+	SectorBits uint32
+	Groups     uint32
+	K          uint32 // also used by ClassicBloom
+
+	// Cuckoo geometry: signature bits l ∈ {4,8,12,16,32} and bucket size
+	// b ∈ {1,2,4,8}.
+	TagBits    uint32
+	BucketSize uint32
+
+	// Magic selects magic-modulo addressing (near-arbitrary sizes) over
+	// power-of-two addressing.
+	Magic bool
+}
+
+// toModel converts to the internal model configuration.
+func (c Config) toModel() (model.Config, error) {
+	switch c.Kind {
+	case BlockedBloom:
+		p := blocked.Params{
+			WordBits: c.WordBits, BlockBits: c.BlockBits,
+			SectorBits: c.SectorBits, Z: c.Groups, K: c.K, Magic: c.Magic,
+		}
+		return model.Config{Kind: model.KindBlockedBloom, Bloom: p}, p.Validate()
+	case ClassicBloom:
+		p := bloom.Params{K: c.K, Magic: c.Magic}
+		return model.Config{Kind: model.KindClassicBloom, Classic: p}, p.Validate()
+	case Cuckoo:
+		p := cuckoo.Params{TagBits: c.TagBits, BucketSize: c.BucketSize, Magic: c.Magic}
+		return model.Config{Kind: model.KindCuckoo, Cuckoo: p}, p.Validate()
+	case Exact:
+		return model.Config{Kind: model.KindExact}, nil
+	default:
+		return model.Config{}, fmt.Errorf("perfilter: invalid kind %d", c.Kind)
+	}
+}
+
+// fromModel converts an internal model configuration to the public form.
+func fromModel(mc model.Config) Config {
+	switch mc.Kind {
+	case model.KindBlockedBloom:
+		return Config{
+			Kind: BlockedBloom, WordBits: mc.Bloom.WordBits,
+			BlockBits: mc.Bloom.BlockBits, SectorBits: mc.Bloom.SectorBits,
+			Groups: mc.Bloom.Z, K: mc.Bloom.K, Magic: mc.Bloom.Magic,
+		}
+	case model.KindClassicBloom:
+		return Config{Kind: ClassicBloom, K: mc.Classic.K, Magic: mc.Classic.Magic}
+	case model.KindCuckoo:
+		return Config{
+			Kind: Cuckoo, TagBits: mc.Cuckoo.TagBits,
+			BucketSize: mc.Cuckoo.BucketSize, Magic: mc.Cuckoo.Magic,
+		}
+	default:
+		return Config{Kind: Exact}
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	_, err := c.toModel()
+	return err
+}
+
+// String renders the configuration in the paper's notation.
+func (c Config) String() string {
+	mc, err := c.toModel()
+	if err != nil {
+		return fmt.Sprintf("invalid(%v)", err)
+	}
+	return mc.String()
+}
+
+// FPR evaluates the configuration's analytic false-positive model at the
+// given size and key count without building a filter.
+func (c Config) FPR(mBits, n uint64) float64 {
+	mc, err := c.toModel()
+	if err != nil {
+		return 1
+	}
+	return mc.FPR(mBits, n)
+}
+
+// New builds a filter of (at least) mBits for the configuration. For Exact,
+// mBits is interpreted as a capacity hint in keys when below 2^16, else as
+// bits (64 bits per slot).
+func New(c Config, mBits uint64) (Filter, error) {
+	mc, err := c.toModel()
+	if err != nil {
+		return nil, err
+	}
+	switch mc.Kind {
+	case model.KindBlockedBloom:
+		f, err := blocked.New(mc.Bloom, mBits)
+		if err != nil {
+			return nil, err
+		}
+		return &blockedAdapter{f}, nil
+	case model.KindClassicBloom:
+		f, err := bloom.New(mc.Classic, mBits)
+		if err != nil {
+			return nil, err
+		}
+		return &classicAdapter{f}, nil
+	case model.KindCuckoo:
+		f, err := cuckoo.New(mc.Cuckoo, mBits)
+		if err != nil {
+			return nil, err
+		}
+		return &CuckooFilter{f}, nil
+	default:
+		capacity := mBits
+		if capacity >= 1<<16 {
+			capacity /= 64
+		}
+		return &exactAdapter{exact.New(int(capacity))}, nil
+	}
+}
+
+// NewRegisterBlockedBloom returns a register-blocked Bloom filter
+// (B = W = 64 bits) with k hash bits — the cheapest-lookup filter in the
+// paper, optimal at very small tw.
+func NewRegisterBlockedBloom(k uint32, mBits uint64) (Filter, error) {
+	return New(Config{Kind: BlockedBloom, WordBits: 64, BlockBits: 64,
+		SectorBits: 64, Groups: 1, K: k, Magic: true}, mBits)
+}
+
+// NewBlockedBloom returns a cache-line blocked Bloom filter (Putze et al.):
+// B = 512 bits, no sectorization.
+func NewBlockedBloom(k uint32, mBits uint64) (Filter, error) {
+	return New(Config{Kind: BlockedBloom, WordBits: 64, BlockBits: 512,
+		SectorBits: 512, Groups: 1, K: k, Magic: true}, mBits)
+}
+
+// NewSectorizedBloom returns a word-sectorized blocked Bloom filter:
+// B = 512, S = 64, k spread over all 8 sectors (k must be a multiple of 8).
+func NewSectorizedBloom(k uint32, mBits uint64) (Filter, error) {
+	return New(Config{Kind: BlockedBloom, WordBits: 64, BlockBits: 512,
+		SectorBits: 64, Groups: 8, K: k, Magic: true}, mBits)
+}
+
+// NewCacheSectorizedBloom returns the paper's new cache-sectorized variant:
+// B = 512, S = 64, z groups (k must be a multiple of z). The headline
+// configuration is k=8, z=2.
+func NewCacheSectorizedBloom(k, z uint32, mBits uint64) (Filter, error) {
+	return New(Config{Kind: BlockedBloom, WordBits: 64, BlockBits: 512,
+		SectorBits: 64, Groups: z, K: k, Magic: true}, mBits)
+}
+
+// NewClassicBloom returns the classic (unblocked) Bloom filter.
+func NewClassicBloom(k uint32, mBits uint64) (Filter, error) {
+	return New(Config{Kind: ClassicBloom, K: k, Magic: true}, mBits)
+}
+
+// NewCuckoo returns a cuckoo filter with the given signature length and
+// bucket size. Use CuckooSizeForKeys to pick mBits for a planned key count.
+func NewCuckoo(tagBits, bucketSize uint32, mBits uint64) (*CuckooFilter, error) {
+	p := cuckoo.Params{TagBits: tagBits, BucketSize: bucketSize, Magic: true}
+	f, err := cuckoo.New(p, mBits)
+	if err != nil {
+		return nil, err
+	}
+	return &CuckooFilter{f}, nil
+}
+
+// CuckooSizeForKeys returns a size (bits) that fits n keys within the
+// practical load limit for the bucket size.
+func CuckooSizeForKeys(tagBits, bucketSize uint32, n uint64) uint64 {
+	return cuckoo.Params{TagBits: tagBits, BucketSize: bucketSize}.SizeForKeys(n)
+}
+
+// NewExact returns an exact filter (Robin Hood hash set) for about
+// n keys; it can grow beyond that.
+func NewExact(n int) Filter {
+	return &exactAdapter{exact.New(n)}
+}
+
+// CuckooFilter is the Filter implementation for cuckoo filters, exposing
+// the family's extra capabilities: deletion and duplicate (bag) support.
+type CuckooFilter struct {
+	f *cuckoo.Filter
+}
+
+// Insert implements Filter; it can return ErrFull.
+func (c *CuckooFilter) Insert(key Key) error { return c.f.Insert(key) }
+
+// Contains implements Filter.
+func (c *CuckooFilter) Contains(key Key) bool { return c.f.Contains(key) }
+
+// ContainsBatch implements Filter.
+func (c *CuckooFilter) ContainsBatch(keys []Key, sel []uint32) []uint32 {
+	return c.f.ContainsBatch(keys, sel)
+}
+
+// Delete removes one occurrence of key. Only delete keys that were
+// inserted; deleting arbitrary keys can evict a colliding key's signature.
+func (c *CuckooFilter) Delete(key Key) bool { return c.f.Delete(key) }
+
+// LoadFactor returns the table occupancy.
+func (c *CuckooFilter) LoadFactor() float64 { return c.f.LoadFactor() }
+
+// Count returns the number of stored signatures.
+func (c *CuckooFilter) Count() uint64 { return c.f.Count() }
+
+// SizeBits implements Filter.
+func (c *CuckooFilter) SizeBits() uint64 { return c.f.SizeBits() }
+
+// FPR implements Filter.
+func (c *CuckooFilter) FPR(n uint64) float64 { return c.f.FPR(n) }
+
+// Reset implements Filter.
+func (c *CuckooFilter) Reset() { c.f.Reset() }
+
+// String implements Filter.
+func (c *CuckooFilter) String() string { return c.f.Params().String() }
+
+// blockedAdapter adapts blocked.Probe (whose Insert cannot fail).
+type blockedAdapter struct {
+	f blocked.Probe
+}
+
+func (a *blockedAdapter) Insert(key Key) error { a.f.Insert(key); return nil }
+func (a *blockedAdapter) Contains(key Key) bool {
+	return a.f.Contains(key)
+}
+func (a *blockedAdapter) ContainsBatch(keys []Key, sel []uint32) []uint32 {
+	return a.f.ContainsBatch(keys, sel)
+}
+func (a *blockedAdapter) SizeBits() uint64     { return a.f.SizeBits() }
+func (a *blockedAdapter) FPR(n uint64) float64 { return a.f.FPR(n) }
+func (a *blockedAdapter) Reset()               { a.f.Reset() }
+func (a *blockedAdapter) String() string       { return a.f.Params().String() }
+
+type classicAdapter struct {
+	f *bloom.Filter
+}
+
+func (a *classicAdapter) Insert(key Key) error { a.f.Insert(key); return nil }
+func (a *classicAdapter) Contains(key Key) bool {
+	return a.f.Contains(key)
+}
+func (a *classicAdapter) ContainsBatch(keys []Key, sel []uint32) []uint32 {
+	return a.f.ContainsBatch(keys, sel)
+}
+func (a *classicAdapter) SizeBits() uint64     { return a.f.SizeBits() }
+func (a *classicAdapter) FPR(n uint64) float64 { return a.f.FPR(n) }
+func (a *classicAdapter) Reset()               { a.f.Reset() }
+func (a *classicAdapter) String() string       { return a.f.Params().String() }
+
+type exactAdapter struct {
+	s *exact.Set
+}
+
+func (a *exactAdapter) Insert(key Key) error {
+	a.s.Insert(key)
+	return nil
+}
+func (a *exactAdapter) Contains(key Key) bool { return a.s.Contains(key) }
+func (a *exactAdapter) ContainsBatch(keys []Key, sel []uint32) []uint32 {
+	return a.s.ContainsBatch(keys, sel)
+}
+func (a *exactAdapter) SizeBits() uint64     { return a.s.SizeBits() }
+func (a *exactAdapter) FPR(n uint64) float64 { return 0 }
+func (a *exactAdapter) Reset()               { a.s.Reset() }
+func (a *exactAdapter) String() string       { return a.s.String() }
+
+// compile-time interface checks
+var (
+	_ Filter           = (*blockedAdapter)(nil)
+	_ Filter           = (*classicAdapter)(nil)
+	_ Filter           = (*CuckooFilter)(nil)
+	_ Filter           = (*exactAdapter)(nil)
+	_ core.BatchProber = (Filter)(nil)
+)
