@@ -3,8 +3,10 @@ package perfilter
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"perfilter/internal/model"
+	"perfilter/internal/sharded"
 )
 
 // Platform selects the cost model behind Advise: the host's analytic model
@@ -83,8 +85,28 @@ type Advice struct {
 	// ρ < (1−σ)·tw (§2). A performance-optimal filter can still be a net
 	// loss when almost every probe hits.
 	Beneficial bool
+	// Shards is the recommended NewSharded partition count for this
+	// workload on this host (see RecommendShards); 1 means sharding buys
+	// nothing and a plain New(Config, MBits) filter is preferable.
+	Shards int
 	// Model names the cost model used.
 	Model string
+}
+
+// RecommendShards returns a shard count for NewSharded: the smallest
+// power of two that gives every expected writer (writers <= 0 means
+// GOMAXPROCS) a low-contention shard — 4× the writer count, the standard
+// rule of thumb for striped locks — capped so each shard still holds a
+// useful share of the n keys, and by sharded.MaxShards. Single-writer
+// workloads (writers == 1, e.g. on a 1-CPU host) get 1: there is no
+// contention to relieve, and an unsharded filter has strictly cheaper
+// lookups. The policy lives in sharded.Recommend so the benchmark
+// harness shares it.
+func RecommendShards(n uint64, writers int) int {
+	if writers <= 0 {
+		writers = runtime.GOMAXPROCS(0)
+	}
+	return sharded.Recommend(n, writers)
 }
 
 // Advise returns the performance-optimal filter for the workload: the
@@ -136,6 +158,7 @@ func Advise(w Workload) (Advice, error) {
 		LookupCycles: best.Tl,
 		Overhead:     best.Rho,
 		Beneficial:   model.Beneficial(best.Rho, w.Sigma, w.Tw),
+		Shards:       RecommendShards(w.N, 0),
 		Model:        machine.Name(),
 	}, nil
 }

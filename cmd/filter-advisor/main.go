@@ -61,6 +61,8 @@ func main() {
 	fmt.Printf("  fpr           %.6g\n", advice.FPR)
 	fmt.Printf("  lookup cost   %.2f cycles\n", advice.LookupCycles)
 	fmt.Printf("  overhead rho  %.2f cycles  (tl + f*tw)\n", advice.Overhead)
+	fmt.Printf("  shards        %d (NewSharded partition count for concurrent writers on this host)\n",
+		advice.Shards)
 	if advice.Beneficial {
 		fmt.Printf("  verdict       install it: rho < (1-sigma)*tw = %.1f\n",
 			(1-*sigma)**tw)

@@ -3,9 +3,14 @@
 // Figure 14 (lookup scaling across filter sizes), Figure 15 (batch-kernel
 // speedups), Figure 3 (the overhead curve) and the bucket-size ablation.
 //
+// -parallel N switches to the concurrency experiment beyond the paper:
+// aggregate insert and batched-probe throughput (keys/s) across 1..N
+// goroutines, sharded filter vs the single-mutex baseline.
+//
 // Usage:
 //
 //	filter-bench [-fig 3|5|9|14|15|ablation] [-quick] [-size MiB]
+//	filter-bench -parallel N [-shards P] [-quick] [-size MiB]
 package main
 
 import (
@@ -15,13 +20,16 @@ import (
 
 	"perfilter/internal/bench"
 	"perfilter/internal/blocked"
+	"perfilter/internal/core"
 	"perfilter/internal/model"
 )
 
 func main() {
 	fig := flag.String("fig", "14", "experiment: 3, 5, 9, 14, 15 or ablation")
 	quick := flag.Bool("quick", false, "short measurements (noisier)")
-	sizeMiB := flag.Uint64("size", 256, "large-filter size in MiB (figures 5 and 9)")
+	sizeMiB := flag.Uint64("size", 256, "large-filter size in MiB (figures 5, 9 and -parallel)")
+	parallel := flag.Int("parallel", 0, "run the parallel-throughput experiment across 1..N goroutines")
+	shards := flag.Int("shards", 0, "shard count for -parallel (0 = 4 lock stripes per goroutine)")
 	flag.Parse()
 
 	eff := bench.FullEffort()
@@ -29,6 +37,15 @@ func main() {
 		eff = bench.QuickEffort()
 	}
 	bigBits := *sizeMiB << 23 // MiB → bits
+
+	if *parallel > 0 {
+		counts := bench.GoroutineCounts(*parallel)
+		fmt.Printf("# Parallel insert throughput, %d MiB filter, sharded vs single mutex\n", *sizeMiB)
+		fmt.Print(bench.Format(bench.ParallelInsert(counts, *shards, bigBits, eff)))
+		fmt.Printf("# Parallel batched-probe throughput (batch %d)\n", core.DefaultBatch)
+		fmt.Print(bench.Format(bench.ParallelProbe(counts, *shards, bigBits, eff)))
+		return
+	}
 
 	switch *fig {
 	case "3":

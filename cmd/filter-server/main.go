@@ -1,0 +1,39 @@
+// filter-server serves named sharded filters over HTTP: a JSON control
+// plane (create/rotate/stats per filter) and a binary little-endian batch
+// data plane (insert/probe). See internal/server for the endpoint
+// reference and README.md for curl examples.
+//
+// Usage:
+//
+//	filter-server [-addr :8077] [-max-batch-bytes 16777216]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"perfilter/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	maxBatch := flag.Int64("max-batch-bytes", server.DefaultMaxBatchBytes,
+		"largest accepted insert/probe body in bytes (4 bytes per key)")
+	maxBits := flag.Uint64("max-filter-bits", server.DefaultMaxFilterBits,
+		"largest filter a create/rotate request may allocate, in bits")
+	maxTotal := flag.Uint64("max-total-bits", server.DefaultMaxTotalBits,
+		"memory budget across all filters, in bits")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr: *addr,
+		Handler: server.New(server.Options{
+			MaxBatchBytes: *maxBatch, MaxFilterBits: *maxBits, MaxTotalBits: *maxTotal,
+		}).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("filter-server listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

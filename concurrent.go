@@ -1,0 +1,167 @@
+package perfilter
+
+import (
+	"fmt"
+
+	"perfilter/internal/sharded"
+)
+
+// ConcurrentFilter is a Filter that is additionally safe for concurrent
+// writers, and that can be rebuilt under live read traffic. NewSharded
+// returns the hash-partitioned implementation.
+type ConcurrentFilter interface {
+	Filter
+	// InsertConcurrent adds a key; unlike the base interface's Insert
+	// (whose contract elsewhere requires external write synchronization),
+	// it is documented safe to call from any number of goroutines. For
+	// the sharded implementation the two are the same method.
+	InsertConcurrent(key Key) error
+	// NumShards returns the partition count.
+	NumShards() int
+	// Rotate atomically replaces the filter's contents with a freshly
+	// built generation of mBits total bits (0 keeps the current size).
+	// fill, if non-nil, is called before the swap with a concurrency-safe
+	// insert into the staging generation, while readers continue on the
+	// old one.
+	Rotate(mBits uint64, fill func(insert func(Key) error) error) error
+	// Stats snapshots shard occupancy and rotation state.
+	Stats() ShardStats
+}
+
+// ShardStats is a point-in-time snapshot of a sharded filter.
+type ShardStats = sharded.Stats
+
+// Sharded is the ConcurrentFilter implementation: cfg split across P
+// hash-selected shards, each a standalone filter of mBits/P bits behind
+// its own reader/writer lock, with batched probes scatter/gathered across
+// shards and atomic generation rotation. See internal/sharded for the
+// design.
+type Sharded struct {
+	s   *sharded.Filter
+	cfg Config
+}
+
+// NewSharded builds a sharded concurrent filter: cfg at (at least) mBits
+// total, partitioned across the given shard count (rounded up to a power
+// of two; <= 0 picks RecommendShards' default for this host and N ≈
+// mBits/12). Each shard is an independent filter of mBits/P bits, so
+// per-shard false-positive behaviour matches a standalone filter of that
+// size holding 1/P of the keys. Unlike New, mBits is always interpreted
+// as bits for the Exact kind (64 bits per slot), never as a capacity
+// hint — splitting would otherwise flip a bits-sized request into the
+// hint regime per shard.
+func NewSharded(cfg Config, mBits uint64, shards int) (*Sharded, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if shards <= 0 {
+		// Estimate the key count the size implies: the sweep's 12
+		// bits/key midpoint for approximate filters, 64 bits/slot for
+		// exact sets.
+		est := mBits / 12
+		if cfg.Kind == Exact {
+			est = mBits / 64
+		}
+		shards = RecommendShards(est, 0)
+	}
+	perShard, p := sharded.SplitBits(mBits, shards)
+	if perShard == 0 {
+		return nil, fmt.Errorf("perfilter: %d bits cannot be split across %d shards", mBits, p)
+	}
+	sh := &Sharded{cfg: cfg}
+	s, err := sharded.New(sh.factory(perShard), p)
+	if err != nil {
+		return nil, err
+	}
+	sh.s = s
+	return sh, nil
+}
+
+// factory builds one shard of the given size, in bits for every kind:
+// Exact shards go through NewExact directly so a small per-shard split
+// never lands in New's below-2^16 capacity-hint regime.
+func (s *Sharded) factory(perShardBits uint64) sharded.Factory {
+	if s.cfg.Kind == Exact {
+		capacity := perShardBits / 64
+		if capacity == 0 {
+			capacity = 1
+		}
+		return func() (sharded.Inner, error) { return NewExact(int(capacity)), nil }
+	}
+	return func() (sharded.Inner, error) { return New(s.cfg, perShardBits) }
+}
+
+// Insert implements Filter; it is safe for concurrent use (the interface
+// comment's "writes need external synchronization" does not apply here).
+func (s *Sharded) Insert(key Key) error { return s.s.Insert(key) }
+
+// InsertConcurrent implements ConcurrentFilter; identical to Insert.
+func (s *Sharded) InsertConcurrent(key Key) error { return s.s.Insert(key) }
+
+// InsertBatch adds a batch of keys, taking each shard's write lock once
+// per batch instead of once per key. It returns the number of keys
+// inserted; on error the inserted keys are not an input-order prefix
+// (keys are processed in shard order), so recover from ErrFull by
+// rotating larger and replaying the batch.
+func (s *Sharded) InsertBatch(keys []Key) (int, error) { return s.s.InsertBatch(keys) }
+
+// Contains implements Filter.
+func (s *Sharded) Contains(key Key) bool { return s.s.Contains(key) }
+
+// ContainsBatch implements Filter: the probe batch is partitioned by
+// shard, probed in parallel for large batches, and merged back into one
+// ascending, position-preserving selection vector — byte-identical to
+// probing the shards one at a time.
+func (s *Sharded) ContainsBatch(keys []Key, sel []uint32) []uint32 {
+	return s.s.ContainsBatch(keys, sel)
+}
+
+// SizeBits implements Filter (summed over shards).
+func (s *Sharded) SizeBits() uint64 { return s.s.SizeBits() }
+
+// FPR implements Filter: the per-shard model at n/P keys.
+func (s *Sharded) FPR(n uint64) float64 { return s.s.FPR(n) }
+
+// Reset implements Filter, clearing every shard in place.
+func (s *Sharded) Reset() { s.s.Reset() }
+
+// String implements Filter.
+func (s *Sharded) String() string { return s.s.String() }
+
+// NumShards implements ConcurrentFilter.
+func (s *Sharded) NumShards() int { return s.s.NumShards() }
+
+// Count returns the number of successful inserts into the current
+// generation.
+func (s *Sharded) Count() uint64 { return s.s.Count() }
+
+// Generation returns the rotation sequence number (0 until the first
+// Rotate).
+func (s *Sharded) Generation() uint64 { return s.s.Generation() }
+
+// Stats implements ConcurrentFilter.
+func (s *Sharded) Stats() ShardStats { return s.s.Stats() }
+
+// Rotate implements ConcurrentFilter: it builds a replacement generation
+// of mBits total bits (0 keeps the current size) off to the side, runs
+// fill against it if non-nil, then swaps it in with one atomic store.
+// Readers never block; writes racing with the swap may land in the
+// retiring generation (quiesce writers or replay a log into fill for
+// lossless rotation).
+func (s *Sharded) Rotate(mBits uint64, fill func(insert func(Key) error) error) error {
+	var factory sharded.Factory
+	if mBits != 0 {
+		perShard, p := sharded.SplitBits(mBits, s.s.NumShards())
+		if perShard == 0 {
+			return fmt.Errorf("perfilter: %d bits cannot be split across %d shards", mBits, p)
+		}
+		factory = s.factory(perShard)
+	}
+	return s.s.Rotate(factory, fill)
+}
+
+// compile-time interface checks
+var (
+	_ Filter           = (*Sharded)(nil)
+	_ ConcurrentFilter = (*Sharded)(nil)
+)

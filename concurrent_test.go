@@ -1,6 +1,7 @@
 package perfilter
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -87,5 +88,301 @@ func TestConcurrentReaders(t *testing.T) {
 				t.Fatal(e)
 			}
 		})
+	}
+}
+
+// --- sharded concurrent filter ---
+
+// equivalenceKinds is the full filter family NewSharded wraps.
+func equivalenceKinds(n uint64) []struct {
+	name  string
+	cfg   Config
+	mBits uint64
+} {
+	return []struct {
+		name  string
+		cfg   Config
+		mBits uint64
+	}{
+		{"cache-sectorized", Config{Kind: BlockedBloom, WordBits: 64, BlockBits: 512,
+			SectorBits: 64, Groups: 2, K: 8, Magic: true}, n * 16},
+		{"register-blocked", Config{Kind: BlockedBloom, WordBits: 64, BlockBits: 64,
+			SectorBits: 64, Groups: 1, K: 4, Magic: true}, n * 16},
+		{"classic", Config{Kind: ClassicBloom, K: 7, Magic: true}, n * 16},
+		// Sized with headroom: shard key counts are binomial, and b=2
+		// tables saturate at ~84% load.
+		{"cuckoo", Config{Kind: Cuckoo, TagBits: 16, BucketSize: 2, Magic: true},
+			CuckooSizeForKeys(16, 2, n+n/8)},
+		{"exact", Config{Kind: Exact}, n * 128},
+	}
+}
+
+// TestShardedEquivalence asserts the tentpole contract: for every filter
+// kind, the sharded scatter/gather ContainsBatch returns a selection
+// vector byte-identical to unsharded filters probed one key at a time —
+// the per-shard standalone filters built with the same partition (the
+// kernels and kick RNGs are deterministic, so shard i and its reference
+// receive identical insert sequences and hold identical state).
+func TestShardedEquivalence(t *testing.T) {
+	n := uint64(1_000_000)
+	if testing.Short() {
+		n = 100_000
+	}
+	const shards = 8
+	for _, k := range equivalenceKinds(n) {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			sh, err := NewSharded(k.cfg, k.mBits, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sh.NumShards() != shards {
+				t.Fatalf("NumShards = %d, want %d", sh.NumShards(), shards)
+			}
+			refs := make([]Filter, shards)
+			for i := range refs {
+				if refs[i], err = New(k.cfg, k.mBits/shards); err != nil {
+					t.Fatal(err)
+				}
+			}
+			r := rng.NewMT19937(2024)
+			for i := uint64(0); i < n; i++ {
+				key := r.Uint32() | 1
+				if err := sh.InsertConcurrent(key); err != nil {
+					t.Fatalf("sharded insert %d: %v", i, err)
+				}
+				if err := refs[sh.s.ShardOf(key)].Insert(key); err != nil {
+					t.Fatalf("reference insert %d: %v", i, err)
+				}
+			}
+			// Probe n keys, half inserted, half never-inserted.
+			probe := make([]Key, n)
+			for i := range probe {
+				if i%2 == 0 {
+					probe[i] = r.Uint32() | 1
+				} else {
+					probe[i] = r.Uint32() &^ 1
+				}
+			}
+			got := sh.ContainsBatch(probe, nil)
+			want := make([]uint32, 0, len(probe))
+			for i, key := range probe {
+				if refs[sh.s.ShardOf(key)].Contains(key) {
+					want = append(want, uint32(i))
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("selection length %d, reference %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("selection[%d] = %d, reference %d", i, got[i], want[i])
+				}
+			}
+			// The exact kind has no false positives, so its sharded output
+			// must additionally byte-match one monolithic unsharded filter.
+			if k.cfg.Kind == Exact {
+				mono := NewExact(int(n))
+				r2 := rng.NewMT19937(2024)
+				for i := uint64(0); i < n; i++ {
+					if err := mono.Insert(r2.Uint32() | 1); err != nil {
+						t.Fatal(err)
+					}
+				}
+				monoSel := mono.ContainsBatch(probe, nil)
+				if len(monoSel) != len(got) {
+					t.Fatalf("exact: sharded %d selections, unsharded %d", len(got), len(monoSel))
+				}
+				for i := range got {
+					if got[i] != monoSel[i] {
+						t.Fatalf("exact: selection[%d] = %d, unsharded %d", i, got[i], monoSel[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedConcurrentInsertProbe hammers InsertConcurrent and
+// ContainsBatch on one sharded filter from many goroutines; run with
+// -race for the full guarantee.
+func TestShardedConcurrentInsertProbe(t *testing.T) {
+	sh, err := NewSharded(Config{Kind: BlockedBloom, WordBits: 64, BlockBits: 512,
+		SectorBits: 64, Groups: 2, K: 8, Magic: true}, 1<<22, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, readers, perWriter = 4, 4, 10_000
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			r := rng.NewMT19937(uint32(1000 + w))
+			for i := 0; i < perWriter; i++ {
+				k := r.Uint32()
+				if err := sh.InsertConcurrent(k); err != nil {
+					errs <- err
+					return
+				}
+				if !sh.Contains(k) {
+					errs <- fmt.Errorf("writer %d: key %d not visible after insert", w, k)
+					return
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		readerWG.Add(1)
+		go func(g int) {
+			defer readerWG.Done()
+			r := rng.NewMT19937(uint32(2000 + g))
+			probe := make([]Key, 1024)
+			sel := make([]uint32, 0, len(probe))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range probe {
+					probe[i] = r.Uint32()
+				}
+				sel = sh.ContainsBatch(probe, sel[:0])
+				for i := 1; i < len(sel); i++ {
+					if sel[i] <= sel[i-1] {
+						errs <- fmt.Errorf("reader %d: selection vector not ascending", g)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := sh.Count(); got != writers*perWriter {
+		t.Fatalf("Count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestShardedRotationUnderLoad rotates a sharded filter repeatedly while
+// readers hammer it. A pinned key set is re-inserted by each rotation's
+// fill, so it must stay visible in every generation; reads must never
+// block or observe a torn shard array (the race detector checks the
+// latter).
+func TestShardedRotationUnderLoad(t *testing.T) {
+	sh, err := NewSharded(Config{Kind: BlockedBloom, WordBits: 64, BlockBits: 512,
+		SectorBits: 64, Groups: 2, K: 8, Magic: true}, 1<<20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.NewMT19937(77)
+	pinned := make([]Key, 10_000)
+	for i := range pinned {
+		pinned[i] = r.Uint32()
+		if err := sh.InsertConcurrent(pinned[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const readers = 4
+	var readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+	for g := 0; g < readers; g++ {
+		readerWG.Add(1)
+		go func(g int) {
+			defer readerWG.Done()
+			sel := make([]uint32, 0, len(pinned))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sel = sh.ContainsBatch(pinned, sel[:0])
+				// Pinned keys live in every generation: a shorter
+				// selection vector would be a false negative.
+				if len(sel) != len(pinned) {
+					errs <- fmt.Errorf("reader %d: %d of %d pinned keys visible", g, len(sel), len(pinned))
+					return
+				}
+			}
+		}(g)
+	}
+	const rotations = 20
+	for rot := 1; rot <= rotations; rot++ {
+		err := sh.Rotate(0, func(insert func(Key) error) error {
+			for _, k := range pinned {
+				if err := insert(k); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sh.Generation() != uint64(rot) {
+			t.Fatalf("generation = %d after rotation %d", sh.Generation(), rot)
+		}
+	}
+	close(stop)
+	readerWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := sh.Count(); got != uint64(len(pinned)) {
+		t.Fatalf("Count = %d after final rotation, want %d", got, len(pinned))
+	}
+	// Resizing rotation: double the bits, keys preserved by fill.
+	if err := sh.Rotate(1<<21, func(insert func(Key) error) error {
+		for _, k := range pinned {
+			if err := insert(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sh.SizeBits() < 1<<21 {
+		t.Fatalf("SizeBits = %d after resizing rotation to %d", sh.SizeBits(), 1<<21)
+	}
+	sel := sh.ContainsBatch(pinned, nil)
+	if len(sel) != len(pinned) {
+		t.Fatalf("%d of %d pinned keys survived the resizing rotation", len(sel), len(pinned))
+	}
+}
+
+func TestRecommendShards(t *testing.T) {
+	if got := RecommendShards(1<<20, 8); got != 32 {
+		t.Errorf("RecommendShards(1M, 8) = %d, want 32 (4 stripes per writer)", got)
+	}
+	// A single writer has no contention to relieve.
+	if got := RecommendShards(1<<20, 1); got != 1 {
+		t.Errorf("RecommendShards(1M, 1) = %d, want 1", got)
+	}
+	// Tiny workloads collapse to fewer shards than writers ask for.
+	if got := RecommendShards(4096, 64); got != 1 {
+		t.Errorf("RecommendShards(4096, 64) = %d, want 1", got)
+	}
+	if got := RecommendShards(1<<30, 1<<20); got > 1024 {
+		t.Errorf("RecommendShards(1G, 1M) = %d, exceeds MaxShards", got)
+	}
+	// The advisor surfaces the recommendation.
+	advice, err := Advise(Workload{N: 1 << 20, Tw: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advice.Shards < 1 {
+		t.Errorf("Advice.Shards = %d", advice.Shards)
 	}
 }

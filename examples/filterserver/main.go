@@ -1,0 +1,145 @@
+// Filter-server client walkthrough: starts the server in-process on a
+// loopback port, then drives it the way a remote client would — create a
+// filter from a workload description, push keys through the binary insert
+// plane, probe a batch, read stats, and rotate the filter under traffic.
+//
+//	go run ./examples/filterserver
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+
+	"perfilter/internal/server"
+)
+
+func main() {
+	// Serve on an ephemeral loopback port. A real deployment runs
+	// cmd/filter-server instead; everything below is plain HTTP either way.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, server.New(server.Options{}).Handler())
+	base := "http://" + ln.Addr().String()
+	fmt.Println("filter-server at", base)
+
+	// Control plane: create a filter sized by the paper's cost model for
+	// n=1M keys where each pruned probe saves ~500 cycles.
+	info := postJSON(base+"/v1/filters", map[string]any{
+		"name":   "users",
+		"advise": map[string]any{"n": 1_000_000, "tw": 500, "bits_per_key": 16},
+	})
+	fmt.Printf("created %q: %s, %.0f KiB, %v shards\n",
+		info["name"], info["config"], info["size_bits"].(float64)/8192, info["shards"])
+
+	// Data plane: insert 1M keys, 64 KiB (16k keys) per request.
+	key := func(i uint32) uint32 { return i*0x9E3779B1 + 7 }
+	const n, batch = 1_000_000, 16_384
+	buf := make([]byte, 4*batch)
+	for lo := uint32(0); lo < n; lo += batch {
+		for i := uint32(0); i < batch; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], key(lo+i))
+		}
+		resp, err := http.Post(base+"/v1/filters/users/insert", "application/octet-stream", bytes.NewReader(buf))
+		if err != nil {
+			log.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("insert batch at %d: status %d", lo, resp.StatusCode)
+		}
+	}
+	fmt.Printf("inserted %d keys\n", n)
+
+	// Probe a mixed batch: even positions hold inserted keys, odd ones
+	// keys that were never inserted.
+	probe := make([]byte, 4*1024)
+	for i := uint32(0); i < 1024; i++ {
+		k := key((i * 997) % n)
+		if i%2 == 1 {
+			k = 0x80000000 + i // outside the inserted stream
+		}
+		binary.LittleEndian.PutUint32(probe[4*i:], k)
+	}
+	resp, err := http.Post(base+"/v1/filters/users/probe", "application/octet-stream", bytes.NewReader(probe))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		log.Fatalf("probe: status %d err %v", resp.StatusCode, err)
+	}
+	hits, falsePos := 0, 0
+	for i := 0; i+4 <= len(sel); i += 4 {
+		if pos := binary.LittleEndian.Uint32(sel[i:]); pos%2 == 0 {
+			hits++
+		} else {
+			falsePos++
+		}
+	}
+	fmt.Printf("probe batch of 1024: %d true candidates, %d false positives (selection vector = %d positions)\n",
+		hits, falsePos, len(sel)/4)
+
+	// Stats, then rotate to a fresh generation while the filter stays
+	// servable, and confirm the old keys are gone.
+	stats := getJSON(base + "/v1/filters/users")
+	fmt.Printf("stats: count=%v generation=%v fpr=%.2g\n",
+		stats["filter"].(map[string]any)["count"],
+		stats["filter"].(map[string]any)["generation"],
+		stats["filter"].(map[string]any)["fpr_at_count"])
+
+	rot := postJSON(base+"/v1/filters/users/rotate", map[string]any{})
+	fmt.Printf("rotated: generation=%v count=%v\n", rot["generation"], rot["count"])
+
+	// The fresh generation no longer contains the old keys: re-probing
+	// the same batch should select (almost) nothing.
+	resp, err = http.Post(base+"/v1/filters/users/probe", "application/octet-stream", bytes.NewReader(probe))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		log.Fatalf("post-rotation probe: status %d err %v", resp.StatusCode, err)
+	}
+	fmt.Printf("probe after rotation: %d of 1024 keys still selected\n", len(sel)/4)
+}
+
+func postJSON(url string, body map[string]any) map[string]any {
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode >= 300 {
+		log.Fatalf("POST %s: status %d: %v", url, resp.StatusCode, out)
+	}
+	return out
+}
+
+func getJSON(url string) map[string]any {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module perfilter
+
+go 1.22

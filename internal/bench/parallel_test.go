@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+func TestParallelThroughputShape(t *testing.T) {
+	counts := []int{1, 2}
+	for _, series := range [][]Series{
+		ParallelInsert(counts, 8, 1<<20, QuickEffort()),
+		ParallelProbe(counts, 8, 1<<20, QuickEffort()),
+	} {
+		if len(series) != 2 || series[0].Name != "sharded" || series[1].Name != "mutex" {
+			t.Fatalf("unexpected series: %+v", series)
+		}
+		for _, s := range series {
+			if len(s.X) != len(counts) || len(s.Y) != len(counts) {
+				t.Fatalf("series %s: %d/%d points, want %d", s.Name, len(s.X), len(s.Y), len(counts))
+			}
+			for i, y := range s.Y {
+				if y <= 0 {
+					t.Fatalf("series %s: non-positive throughput %.1f at %d goroutines", s.Name, y, counts[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGoroutineCounts(t *testing.T) {
+	got := GoroutineCounts(8)
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("GoroutineCounts(8) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("GoroutineCounts(8) = %v, want %v", got, want)
+		}
+	}
+	if got := GoroutineCounts(6); got[len(got)-1] != 6 {
+		t.Fatalf("GoroutineCounts(6) = %v, must end at 6", got)
+	}
+}

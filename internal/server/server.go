@@ -1,0 +1,598 @@
+// Package server implements the filter-server HTTP service: named sharded
+// filters behind a JSON control plane and a binary batch data plane.
+//
+// Control plane (JSON):
+//
+//	POST   /v1/filters               create a named filter (explicit config
+//	                                 or {"advise": workload} to let the
+//	                                 paper's cost model pick one)
+//	GET    /v1/filters               list filters
+//	GET    /v1/filters/{name}        stats for one filter
+//	DELETE /v1/filters/{name}        drop a filter
+//	POST   /v1/filters/{name}/rotate swap in a fresh generation (optionally
+//	                                 resized) under live traffic
+//	GET    /healthz                  liveness
+//
+// Data plane (binary, little-endian uint32 — the repository's canonical
+// key width — four bytes per key, no framing):
+//
+//	POST /v1/filters/{name}/insert   body: keys; response: JSON insert count
+//	POST /v1/filters/{name}/probe    body: keys; response: the selection
+//	                                 vector (LE uint32 positions of keys
+//	                                 that may be contained), or JSON with
+//	                                 ?format=json
+//
+// Both data-plane endpoints also accept Content-Type application/json with
+// {"keys": [...]} for curl-friendly exploration; the binary form is the
+// high-throughput path (a 1024-key probe is one 4 KiB POST).
+//
+// All handlers are safe for concurrent use: the registry is behind an
+// RWMutex and every filter is a perfilter.Sharded (per-shard locks,
+// scatter/gather batches, atomic rotation).
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"time"
+
+	"perfilter"
+)
+
+// DefaultMaxBatchBytes caps data-plane request bodies (16 MiB = 4M keys).
+const DefaultMaxBatchBytes = 16 << 20
+
+// DefaultMaxFilterBits caps a single filter's size (2^33 bits = 1 GiB).
+// Without a cap, one create or rotate request naming an absurd mbits
+// would allocate it and take the process down.
+const DefaultMaxFilterBits = 1 << 33
+
+// DefaultMaxTotalBits caps the summed size of all registered filters
+// (2^35 bits = 4 GiB) — the per-filter cap alone would still let a
+// client OOM the server by creating many filters at the limit.
+const DefaultMaxTotalBits = 1 << 35
+
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9_.-]{1,64}$`)
+
+// Options configures a Server.
+type Options struct {
+	// MaxBatchBytes caps insert/probe request bodies; 0 means
+	// DefaultMaxBatchBytes.
+	MaxBatchBytes int64
+	// MaxFilterBits caps a single filter's size at create/rotate; 0
+	// means DefaultMaxFilterBits.
+	MaxFilterBits uint64
+	// MaxTotalBits caps the summed size of all filters; 0 means
+	// DefaultMaxTotalBits.
+	MaxTotalBits uint64
+}
+
+// Server is the filter registry plus its HTTP handlers.
+type Server struct {
+	mu        sync.RWMutex
+	filters   map[string]*entry
+	usedBits  uint64 // reserved bits across all filters, guarded by mu
+	maxBytes  int64
+	maxBits   uint64
+	totalBits uint64
+}
+
+// entry is one registered filter. A nil f marks an in-flight create's
+// placeholder: the name and bits are reserved, the filter not yet built.
+// bits and rotating are guarded by the server mutex; the entry pointer
+// itself is the reservation's identity — handlers re-check that the map
+// still holds *their* entry before touching the accounting, so a
+// delete/recreate race can neither resurrect a filter nor leak budget.
+type entry struct {
+	f        *perfilter.Sharded
+	cfg      perfilter.Config
+	bits     uint64
+	rotating bool
+	created  time.Time
+}
+
+// New returns an empty server.
+func New(opts Options) *Server {
+	maxBytes := opts.MaxBatchBytes
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBatchBytes
+	}
+	maxBits := opts.MaxFilterBits
+	if maxBits == 0 {
+		maxBits = DefaultMaxFilterBits
+	}
+	totalBits := opts.MaxTotalBits
+	if totalBits == 0 {
+		totalBits = DefaultMaxTotalBits
+	}
+	return &Server{
+		filters:  make(map[string]*entry),
+		maxBytes: maxBytes, maxBits: maxBits, totalBits: totalBits,
+	}
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/filters", s.handleCreate)
+	mux.HandleFunc("GET /v1/filters", s.handleList)
+	mux.HandleFunc("GET /v1/filters/{name}", s.handleStats)
+	mux.HandleFunc("DELETE /v1/filters/{name}", s.handleDelete)
+	mux.HandleFunc("POST /v1/filters/{name}/rotate", s.handleRotate)
+	mux.HandleFunc("POST /v1/filters/{name}/insert", s.handleInsert)
+	mux.HandleFunc("POST /v1/filters/{name}/probe", s.handleProbe)
+	return mux
+}
+
+// CreateRequest is the control-plane filter specification. Either give an
+// explicit Kind (+ geometry; zero fields get the kind's headline defaults)
+// and MBits, or an Advise workload and let the cost model choose both.
+type CreateRequest struct {
+	Name   string `json:"name"`
+	Kind   string `json:"kind,omitempty"` // bloom | classic | cuckoo | exact
+	MBits  uint64 `json:"mbits,omitempty"`
+	Shards int    `json:"shards,omitempty"` // 0 = advisor's host default
+
+	// Bloom geometry (kind "bloom"/"classic"); zero = headline defaults
+	// (cache-sectorized k=8 z=2 for bloom, k=7 for classic).
+	K          uint32 `json:"k,omitempty"`
+	BlockBits  uint32 `json:"block_bits,omitempty"`
+	SectorBits uint32 `json:"sector_bits,omitempty"`
+	Groups     uint32 `json:"groups,omitempty"`
+
+	// Cuckoo geometry (kind "cuckoo"); zero = the paper's s=16, b=2.
+	TagBits    uint32 `json:"tag_bits,omitempty"`
+	BucketSize uint32 `json:"bucket_size,omitempty"`
+
+	// Advise, when non-nil, overrides Kind/MBits with the cost model's
+	// performance-optimal pick for the workload.
+	Advise *AdviseRequest `json:"advise,omitempty"`
+}
+
+// AdviseRequest mirrors perfilter.Workload for the control plane.
+type AdviseRequest struct {
+	N          uint64  `json:"n"`
+	Tw         float64 `json:"tw"`
+	Sigma      float64 `json:"sigma,omitempty"`
+	BitsPerKey float64 `json:"bits_per_key,omitempty"`
+	AllowExact bool    `json:"allow_exact,omitempty"`
+}
+
+// FilterInfo is the control-plane view of one filter.
+type FilterInfo struct {
+	Name       string    `json:"name"`
+	Config     string    `json:"config"`
+	Kind       string    `json:"kind"`
+	SizeBits   uint64    `json:"size_bits"`
+	Shards     int       `json:"shards"`
+	Count      uint64    `json:"count"`
+	Generation uint64    `json:"generation"`
+	FPR        float64   `json:"fpr_at_count"`
+	Created    time.Time `json:"created"`
+}
+
+func (e *entry) info(name string) FilterInfo {
+	return e.infoFrom(name, e.f.Stats())
+}
+
+// infoFrom renders a FilterInfo from an already-taken snapshot, so
+// handlers returning both forms report one consistent view.
+func (e *entry) infoFrom(name string, st perfilter.ShardStats) FilterInfo {
+	return FilterInfo{
+		Name:       name,
+		Config:     e.f.String(),
+		Kind:       e.cfg.Kind.String(),
+		SizeBits:   st.SizeBits,
+		Shards:     st.Shards,
+		Count:      st.Count,
+		Generation: st.Generation,
+		FPR:        e.f.FPR(st.Count),
+		Created:    e.created,
+	}
+}
+
+// buildConfig resolves a CreateRequest into a validated configuration,
+// size and shard count.
+func buildConfig(req *CreateRequest) (perfilter.Config, uint64, int, error) {
+	if req.Advise != nil {
+		a := req.Advise
+		advice, err := perfilter.Advise(perfilter.Workload{
+			N: a.N, Tw: a.Tw, Sigma: a.Sigma,
+			BitsPerKeyBudget: a.BitsPerKey, AllowExact: a.AllowExact,
+		})
+		if err != nil {
+			return perfilter.Config{}, 0, 0, err
+		}
+		shards := req.Shards
+		if shards == 0 {
+			shards = advice.Shards
+		}
+		return advice.Config, advice.MBits, shards, nil
+	}
+	if req.MBits == 0 {
+		return perfilter.Config{}, 0, 0, errors.New("mbits required (or give \"advise\")")
+	}
+	cfg := perfilter.Config{Magic: true}
+	switch req.Kind {
+	case "bloom", "":
+		cfg.Kind = perfilter.BlockedBloom
+		cfg.WordBits, cfg.BlockBits, cfg.SectorBits = 64, 512, 64
+		cfg.Groups, cfg.K = 2, 8 // cache-sectorized headline
+		if req.BlockBits != 0 {
+			cfg.BlockBits = req.BlockBits
+		}
+		if req.SectorBits != 0 {
+			cfg.SectorBits = req.SectorBits
+		}
+		if req.Groups != 0 {
+			cfg.Groups = req.Groups
+		}
+		if req.K != 0 {
+			cfg.K = req.K
+		}
+	case "classic":
+		cfg.Kind = perfilter.ClassicBloom
+		cfg.K = 7
+		if req.K != 0 {
+			cfg.K = req.K
+		}
+	case "cuckoo":
+		cfg.Kind = perfilter.Cuckoo
+		cfg.TagBits, cfg.BucketSize = 16, 2
+		if req.TagBits != 0 {
+			cfg.TagBits = req.TagBits
+		}
+		if req.BucketSize != 0 {
+			cfg.BucketSize = req.BucketSize
+		}
+	case "exact":
+		cfg.Kind = perfilter.Exact
+		cfg.Magic = false
+	default:
+		return perfilter.Config{}, 0, 0, fmt.Errorf("unknown kind %q", req.Kind)
+	}
+	if err := cfg.Validate(); err != nil {
+		return perfilter.Config{}, 0, 0, err
+	}
+	return cfg, req.MBits, req.Shards, nil
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if !nameRE.MatchString(req.Name) {
+		writeErr(w, http.StatusBadRequest, errors.New("name must match [A-Za-z0-9_.-]{1,64}"))
+		return
+	}
+	cfg, mBits, shards, err := buildConfig(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if mBits > s.maxBits {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("mbits %d exceeds the server cap of %d", mBits, s.maxBits))
+		return
+	}
+	// Reserve the name and the memory before building: construction
+	// allocates the full filter, and neither a duplicate request nor a
+	// flood of creates may pay (or race) that.
+	s.mu.Lock()
+	if _, dup := s.filters[req.Name]; dup {
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, fmt.Errorf("filter %q already exists", req.Name))
+		return
+	}
+	if s.usedBits+mBits > s.totalBits {
+		avail := remaining(s.totalBits, s.usedBits)
+		s.mu.Unlock()
+		writeErr(w, http.StatusInsufficientStorage,
+			fmt.Errorf("mbits %d exceeds the server's remaining budget of %d bits (delete or shrink filters first)", mBits, avail))
+		return
+	}
+	ph := &entry{bits: mBits} // placeholder (f == nil)
+	s.usedBits += mBits
+	s.filters[req.Name] = ph
+	s.mu.Unlock()
+	release := func() {
+		// Only our own placeholder: if a concurrent DELETE removed it,
+		// that already returned the reservation.
+		s.mu.Lock()
+		if s.filters[req.Name] == ph {
+			delete(s.filters, req.Name)
+			s.usedBits -= mBits
+		}
+		s.mu.Unlock()
+	}
+	f, err := perfilter.NewSharded(cfg, mBits, shards)
+	if err != nil {
+		release()
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// Account the built size, not the request: constructors round up to
+	// addressing granularity (the exact kind by up to ~2x), and the
+	// budget should reflect memory actually held.
+	bits := mBits
+	if actual := f.SizeBits(); actual > bits {
+		bits = actual
+	}
+	e := &entry{f: f, cfg: cfg, bits: bits, created: time.Now().UTC()}
+	s.mu.Lock()
+	if s.filters[req.Name] != ph {
+		// Deleted (and possibly re-created by someone else) while we
+		// were building; our reservation went with the placeholder.
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, fmt.Errorf("filter %q was deleted during creation", req.Name))
+		return
+	}
+	s.usedBits += bits - mBits
+	s.filters[req.Name] = e
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, e.info(req.Name))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	infos := make([]FilterInfo, 0, len(s.filters))
+	for name, e := range s.filters {
+		if e.f == nil { // placeholder for an in-flight create
+			continue
+		}
+		infos = append(infos, e.info(name))
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"filters": infos})
+}
+
+// lookup resolves {name} or writes a 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (string, *entry, bool) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	e := s.filters[name]
+	s.mu.RUnlock()
+	if e == nil || e.f == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no filter %q", name))
+		return name, nil, false
+	}
+	return name, e, true
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	name, e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	st := e.f.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"filter": e.infoFrom(name, st), "per_shard_counts": st.PerShard,
+	})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	e, ok := s.filters[name]
+	if ok {
+		delete(s.filters, name)
+		s.usedBits -= e.bits
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no filter %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (s *Server) handleRotate(w http.ResponseWriter, r *http.Request) {
+	name, e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		MBits uint64 `json:"mbits,omitempty"` // 0 keeps the current size
+	}
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+	}
+	if req.MBits > s.maxBits {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("mbits %d exceeds the server cap of %d", req.MBits, s.maxBits))
+		return
+	}
+	// Single-flight the rotation and reserve any resize delta under the
+	// registry lock, re-checking the entry is still the registered one:
+	// a concurrent DELETE releases e.bits (updated below before the lock
+	// drops), so post-rotation accounting must only run while registered.
+	s.mu.Lock()
+	if s.filters[name] != e {
+		s.mu.Unlock()
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no filter %q", name))
+		return
+	}
+	if e.rotating {
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, fmt.Errorf("filter %q is already rotating", name))
+		return
+	}
+	prev := e.bits
+	if req.MBits != 0 {
+		if req.MBits > prev && s.usedBits+(req.MBits-prev) > s.totalBits {
+			avail := remaining(s.totalBits, s.usedBits)
+			s.mu.Unlock()
+			writeErr(w, http.StatusInsufficientStorage,
+				fmt.Errorf("growing to %d bits exceeds the server's remaining budget of %d bits", req.MBits, avail))
+			return
+		}
+		s.usedBits += req.MBits - prev
+		e.bits = req.MBits
+	}
+	e.rotating = true
+	s.mu.Unlock()
+
+	err := e.f.Rotate(req.MBits, nil)
+
+	s.mu.Lock()
+	registered := s.filters[name] == e
+	if req.MBits != 0 && registered {
+		if err != nil {
+			s.usedBits -= req.MBits - prev
+			e.bits = prev
+		} else if actual := e.f.SizeBits(); actual > e.bits {
+			// Re-account to the built size (constructors round up).
+			s.usedBits += actual - e.bits
+			e.bits = actual
+		}
+	}
+	e.rotating = false
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, e.info(name))
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	_, e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	keys, err := s.readKeys(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	inserted, err := e.f.InsertBatch(keys)
+	if err != nil {
+		// Cuckoo saturation. inserted is a count, not an input-order
+		// prefix (the batch is applied shard by shard): the caller
+		// should rotate to a larger size and replay the whole batch.
+		writeJSON(w, http.StatusInsufficientStorage, map[string]any{
+			"error": err.Error(), "inserted": inserted, "count": e.f.Count(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"inserted": inserted, "count": e.f.Count(),
+	})
+}
+
+func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
+	_, e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	keys, err := s.readKeys(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sel := e.f.ContainsBatch(keys, make([]uint32, 0, len(keys)))
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"probed": len(keys), "positions": sel,
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Probed-Keys", fmt.Sprint(len(keys)))
+	w.Header().Set("X-Selected", fmt.Sprint(len(sel)))
+	w.WriteHeader(http.StatusOK)
+	writeU32s(w, sel)
+}
+
+// readKeys decodes the data-plane key batch: raw little-endian uint32s,
+// or {"keys": [...]} when the request is JSON.
+func (s *Server) readKeys(r *http.Request) ([]perfilter.Key, error) {
+	body := io.LimitReader(r.Body, s.maxBytes+1)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req struct {
+			Keys []perfilter.Key `json:"keys"`
+		}
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			return nil, fmt.Errorf("bad JSON key batch: %w", err)
+		}
+		return req.Keys, nil
+	}
+	// Presize from Content-Length so a full-size batch is read in one
+	// allocation instead of ReadAll's doubling copies.
+	capHint := int64(64 << 10)
+	if n := r.ContentLength; n >= 0 {
+		capHint = n + 1
+	}
+	if capHint > s.maxBytes+1 {
+		capHint = s.maxBytes + 1
+	}
+	buf := bytes.NewBuffer(make([]byte, 0, capHint))
+	if _, err := io.Copy(buf, body); err != nil {
+		return nil, err
+	}
+	raw := buf.Bytes()
+	if int64(len(raw)) > s.maxBytes {
+		return nil, fmt.Errorf("batch exceeds %d bytes", s.maxBytes)
+	}
+	if len(raw)%4 != 0 {
+		return nil, fmt.Errorf("binary batch length %d is not a multiple of 4 (little-endian uint32 keys)", len(raw))
+	}
+	keys := make([]perfilter.Key, len(raw)/4)
+	for i := range keys {
+		keys[i] = binary.LittleEndian.Uint32(raw[4*i:])
+	}
+	return keys, nil
+}
+
+// writeU32s streams values as little-endian uint32s.
+func writeU32s(w io.Writer, vals []uint32) {
+	buf := make([]byte, 0, 4096)
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint32(buf, v)
+		if len(buf) == cap(buf) {
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		w.Write(buf)
+	}
+}
+
+// remaining is total-used clamped at zero: rounding-up re-accounting (the
+// built size can exceed the reserved request) may push usage slightly
+// past the budget, and the error message must not underflow.
+func remaining(total, used uint64) uint64 {
+	if used >= total {
+		return 0
+	}
+	return total - used
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

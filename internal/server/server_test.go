@@ -1,0 +1,328 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"perfilter/internal/rng"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(Options{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doJSON(t *testing.T, method, url string, body any, wantStatus int) map[string]any {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: bad JSON response: %v", method, url, err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %d, want %d (body %v)", method, url, resp.StatusCode, wantStatus, out)
+	}
+	return out
+}
+
+func leBytes(keys []uint32) []byte {
+	b := make([]byte, 4*len(keys))
+	for i, k := range keys {
+		binary.LittleEndian.PutUint32(b[4*i:], k)
+	}
+	return b
+}
+
+func postBinary(t *testing.T, url string, keys []uint32) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(leBytes(keys)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestLifecycleBinaryRoundTrip(t *testing.T) {
+	ts := newTestServer(t)
+
+	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{
+		Name: "events", Kind: "bloom", MBits: 1 << 20, Shards: 4,
+	}, http.StatusCreated)
+
+	// Insert 10k keys through the binary plane.
+	r := rng.NewMT19937(11)
+	keys := make([]uint32, 10_000)
+	for i := range keys {
+		keys[i] = r.Uint32() | 1
+	}
+	resp := postBinary(t, ts.URL+"/v1/filters/events/insert", keys)
+	var ins struct {
+		Inserted int    `json:"inserted"`
+		Count    uint64 `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ins); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ins.Inserted != len(keys) || ins.Count != uint64(len(keys)) {
+		t.Fatalf("insert: status %d, %+v", resp.StatusCode, ins)
+	}
+
+	// Probe a batch mixing inserted and (almost certainly) absent keys.
+	probe := make([]uint32, 4096)
+	for i := range probe {
+		if i%2 == 0 {
+			probe[i] = keys[i%len(keys)]
+		} else {
+			probe[i] = r.Uint32() &^ 1
+		}
+	}
+	resp = postBinary(t, ts.URL+"/v1/filters/events/probe", probe)
+	raw, sel := make([]byte, 0), []uint32(nil)
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	raw = buf.Bytes()
+	if resp.StatusCode != http.StatusOK || len(raw)%4 != 0 {
+		t.Fatalf("probe: status %d, %d bytes", resp.StatusCode, len(raw))
+	}
+	for i := 0; i+4 <= len(raw); i += 4 {
+		sel = append(sel, binary.LittleEndian.Uint32(raw[i:]))
+	}
+	// Every inserted position must be selected (no false negatives), and
+	// the vector must be ascending.
+	selSet := make(map[uint32]bool, len(sel))
+	for i, p := range sel {
+		selSet[p] = true
+		if i > 0 && sel[i] <= sel[i-1] {
+			t.Fatal("selection vector not ascending")
+		}
+	}
+	falsePos := 0
+	for i := range probe {
+		if i%2 == 0 && !selSet[uint32(i)] {
+			t.Fatalf("false negative at probe position %d", i)
+		}
+		if i%2 == 1 && selSet[uint32(i)] {
+			falsePos++
+		}
+	}
+	// 1 MiB / 10k keys ≈ 105 bits/key: false positives should be rare.
+	if falsePos > len(probe)/10 {
+		t.Fatalf("%d false positives in %d negative probes", falsePos, len(probe)/2)
+	}
+
+	// Stats reflect the inserts.
+	st := doJSON(t, "GET", ts.URL+"/v1/filters/events", nil, http.StatusOK)
+	info := st["filter"].(map[string]any)
+	if info["count"].(float64) != float64(len(keys)) || info["shards"].(float64) != 4 {
+		t.Fatalf("stats: %v", info)
+	}
+
+	// Rotate to a fresh generation: keys are gone, generation bumps.
+	rot := doJSON(t, "POST", ts.URL+"/v1/filters/events/rotate", map[string]any{}, http.StatusOK)
+	if rot["generation"].(float64) != 1 || rot["count"].(float64) != 0 {
+		t.Fatalf("rotate: %v", rot)
+	}
+	out := doJSON(t, "POST", ts.URL+"/v1/filters/events/probe?format=json",
+		map[string]any{"keys": probe[:64]}, http.StatusOK)
+	if pos, ok := out["positions"].([]any); ok && len(pos) > 3 {
+		t.Fatalf("after rotation, %d of 64 probes still hit", len(pos))
+	}
+
+	// Delete, then 404.
+	doJSON(t, "DELETE", ts.URL+"/v1/filters/events", nil, http.StatusOK)
+	doJSON(t, "GET", ts.URL+"/v1/filters/events", nil, http.StatusNotFound)
+}
+
+func TestCreateViaAdvise(t *testing.T) {
+	ts := newTestServer(t)
+	out := doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{
+		Name:   "advised",
+		Advise: &AdviseRequest{N: 100_000, Tw: 500, BitsPerKey: 16},
+	}, http.StatusCreated)
+	if out["size_bits"].(float64) <= 0 || out["shards"].(float64) < 1 {
+		t.Fatalf("advised create: %v", out)
+	}
+	list := doJSON(t, "GET", ts.URL+"/v1/filters", nil, http.StatusOK)
+	if n := len(list["filters"].([]any)); n != 1 {
+		t.Fatalf("list: %d filters", n)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ts := newTestServer(t)
+
+	// Oversized filters are refused before any allocation happens.
+	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{Name: "huge", MBits: 1 << 40}, http.StatusBadRequest)
+
+	// Bad names and configs.
+	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{Name: "bad name!", MBits: 1 << 20}, http.StatusBadRequest)
+	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{Name: "x"}, http.StatusBadRequest)
+	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{Name: "x", Kind: "tardis", MBits: 1 << 20}, http.StatusBadRequest)
+
+	// Duplicate create conflicts.
+	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{Name: "x", Kind: "exact", MBits: 1 << 20}, http.StatusCreated)
+	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{Name: "x", Kind: "exact", MBits: 1 << 20}, http.StatusConflict)
+
+	// Rotation respects the size cap too.
+	doJSON(t, "POST", ts.URL+"/v1/filters/x/rotate", map[string]any{"mbits": uint64(1) << 40}, http.StatusBadRequest)
+
+	// Misaligned binary body.
+	resp, err := http.Post(ts.URL+"/v1/filters/x/insert", "application/octet-stream", bytes.NewReader([]byte{1, 2, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("misaligned insert: status %d", resp.StatusCode)
+	}
+
+	// Unknown filter on every data/control endpoint.
+	for _, probe := range []struct{ method, path string }{
+		{"POST", "/v1/filters/nope/insert"},
+		{"POST", "/v1/filters/nope/probe"},
+		{"POST", "/v1/filters/nope/rotate"},
+		{"DELETE", "/v1/filters/nope"},
+	} {
+		req, _ := http.NewRequest(probe.method, ts.URL+probe.path, bytes.NewReader(nil))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s %s: status %d, want 404", probe.method, probe.path, resp.StatusCode)
+		}
+	}
+}
+
+func TestCuckooFullReportsProgress(t *testing.T) {
+	ts := newTestServer(t)
+	// A tiny cuckoo filter saturates quickly; the server must report how
+	// many keys landed before ErrFull.
+	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{
+		Name: "tiny", Kind: "cuckoo", MBits: 1 << 12, Shards: 1,
+	}, http.StatusCreated)
+	r := rng.NewMT19937(5)
+	keys := make([]uint32, 4096)
+	for i := range keys {
+		keys[i] = r.Uint32()
+	}
+	resp := postBinary(t, ts.URL+"/v1/filters/tiny/insert", keys)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("saturating insert: status %d, want 507", resp.StatusCode)
+	}
+	var out struct {
+		Inserted int    `json:"inserted"`
+		Error    string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Inserted == 0 || out.Error == "" {
+		t.Fatalf("saturating insert: %+v", out)
+	}
+}
+
+// TestConcurrentClients drives inserts and probes against one filter from
+// many goroutines; run with -race to check the full handler stack.
+func TestConcurrentClients(t *testing.T) {
+	ts := newTestServer(t)
+	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{
+		Name: "shared", Kind: "bloom", MBits: 1 << 22, Shards: 8,
+	}, http.StatusCreated)
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rng.NewMT19937(uint32(300 + c))
+			keys := make([]uint32, 2048)
+			for rep := 0; rep < 5; rep++ {
+				for i := range keys {
+					keys[i] = r.Uint32()
+				}
+				in, err := http.Post(ts.URL+"/v1/filters/shared/insert",
+					"application/octet-stream", bytes.NewReader(leBytes(keys)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				in.Body.Close()
+				if in.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("client %d: insert status %d", c, in.StatusCode)
+					return
+				}
+				pr, err := http.Post(ts.URL+"/v1/filters/shared/probe",
+					"application/octet-stream", bytes.NewReader(leBytes(keys)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				buf := new(bytes.Buffer)
+				buf.ReadFrom(pr.Body)
+				pr.Body.Close()
+				if pr.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("client %d: probe status %d", c, pr.StatusCode)
+					return
+				}
+				// Just-inserted keys must all be selected.
+				if buf.Len() != 4*len(keys) {
+					errs <- fmt.Errorf("client %d: %d of %d own keys selected", c, buf.Len()/4, len(keys))
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalMemoryBudget(t *testing.T) {
+	// Total budget fits two 1 Mbit filters but not three. The bloom kind
+	// builds at (almost exactly) the requested size; the budget accounts
+	// the built size, so kinds that round up (exact: 2x) reserve more.
+	ts := httptest.NewServer(New(Options{MaxTotalBits: 2 << 20}).Handler())
+	defer ts.Close()
+	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{Name: "a", Kind: "bloom", MBits: 1 << 20}, http.StatusCreated)
+	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{Name: "b", Kind: "bloom", MBits: 1 << 20}, http.StatusCreated)
+	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{Name: "c", Kind: "bloom", MBits: 1 << 20}, http.StatusInsufficientStorage)
+	// Growth by rotation is budgeted too.
+	doJSON(t, "POST", ts.URL+"/v1/filters/a/rotate", map[string]any{"mbits": uint64(2) << 20}, http.StatusInsufficientStorage)
+	// Freeing a filter frees its budget.
+	doJSON(t, "DELETE", ts.URL+"/v1/filters/b", nil, http.StatusOK)
+	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{Name: "c", Kind: "bloom", MBits: 1 << 20}, http.StatusCreated)
+}

@@ -1,0 +1,37 @@
+// Package sharded partitions any batched filter across P hash-selected
+// shards so that inserts scale with cores instead of serializing on one
+// lock, while batched lookups keep the paper's selection-vector contract.
+//
+// The paper's cost model ρ(F) = tl(F) + f(F)·tw treats the filter as a
+// single-threaded object; every kernel in this repository is safe for
+// concurrent readers but requires external synchronization for writes. At
+// service scale (the ROADMAP's "millions of users" north star) a single
+// writer lock caps insert throughput at one core. This package restores
+// multi-core scaling the standard way high-throughput hash structures do:
+//
+//   - Partitioning. Each key is assigned to one of P shards (P a power of
+//     two) by the top bits of an independent multiplicative hash — a
+//     different odd constant than the filters consume internally, so shard
+//     selection does not bias the bits a shard's kernel uses and each
+//     shard's false-positive behaviour matches a standalone filter of the
+//     same size.
+//   - Per-shard locks. Every shard pairs its filter with a sync.RWMutex.
+//     Writers contend only 1/P of the time; readers proceed in parallel.
+//   - Scatter/gather batches. ContainsBatch partitions the probe batch by
+//     shard (one counting-sort pass), probes shards — in parallel for
+//     large batches — and merges per-shard hits back into one
+//     position-preserving, ascending selection vector: byte-identical to
+//     probing the same P filters sequentially, and to the scalar Contains
+//     path.
+//   - Generation rotation. The shard array lives behind an
+//     atomic.Pointer. Rotate builds a complete replacement generation off
+//     to the side (optionally pre-filled by the caller while readers keep
+//     hitting the old generation) and swaps it in with one atomic store,
+//     so a filter can be resized or rebuilt under live traffic with no
+//     stop-the-world pause.
+//
+// The package is deliberately generic over an Inner interface rather than
+// depending on the root perfilter package (which would be an import
+// cycle); perfilter.NewSharded wires the two together, and internal/bench
+// reuses the same wrapper for the parallel-throughput experiments.
+package sharded

@@ -1,0 +1,543 @@
+package sharded
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"perfilter/internal/core"
+	"perfilter/internal/hashing"
+)
+
+// Key is the key type shared with the rest of the repository.
+type Key = core.Key
+
+// MaxShards bounds the shard count; beyond this, per-shard fixed costs
+// (locks, scatter bookkeeping) dominate any contention win.
+const MaxShards = 1024
+
+// parallelBatchMin is the batch length below which scatter/gather probes
+// the shards sequentially: goroutine handoff costs more than it saves on
+// small batches (the vectorized pipelines' default batch is 1024 keys).
+const parallelBatchMin = 4 * core.DefaultBatch
+
+// Inner is the per-shard filter contract: the root package's Filter
+// method set, restated locally so this package does not import perfilter
+// (which imports this package). Any perfilter.Filter satisfies it.
+type Inner interface {
+	Insert(key Key) error
+	Contains(key Key) bool
+	ContainsBatch(keys []Key, sel core.SelVec) core.SelVec
+	SizeBits() uint64
+	FPR(n uint64) float64
+	Reset()
+	String() string
+}
+
+// Factory builds one shard's filter. It is called P times per generation;
+// each call must return a fresh, empty filter.
+type Factory func() (Inner, error)
+
+// shard pairs one partition's filter with its lock. count is guarded by mu.
+type shard struct {
+	mu    sync.RWMutex
+	f     Inner
+	count uint64
+}
+
+// generation is one immutable shard array. The slice and the shard
+// pointers never change after construction; only the filters behind the
+// per-shard locks do. Readers load the current generation once per
+// operation and never observe a torn rotation.
+type generation struct {
+	shards []*shard
+	seq    uint64
+}
+
+// Filter is a hash-partitioned, concurrency-safe wrapper around P Inner
+// filters. All methods are safe for concurrent use.
+type Filter struct {
+	gen      atomic.Pointer[generation]
+	lg       uint32 // log2(len(shards))
+	factory  Factory
+	rotateMu sync.Mutex // serializes Rotate and Reset
+	scratch  sync.Pool  // *batchScratch, reused across ContainsBatch calls
+}
+
+// batchScratch holds one ContainsBatch call's scatter/gather buffers; it
+// is pooled so steady-state probing does not allocate.
+type batchScratch struct {
+	ids     []uint16   // per-key shard id
+	offsets []uint32   // per-shard run boundaries (len P+1)
+	cursor  []uint32   // scatter cursors (len P)
+	skeys   []Key      // keys grouped by shard
+	sidx    []uint32   // original position of each scattered key
+	hits    []bool     // per-position match flags
+	psel    [][]uint32 // per-shard selection buffers
+}
+
+// resizeScatter prepares the buffers both batch paths share (the
+// counting-sort scatter); InsertBatch needs nothing more.
+func (sc *batchScratch) resizeScatter(n, p int) {
+	if cap(sc.ids) < n {
+		sc.ids = make([]uint16, n)
+		sc.skeys = make([]Key, n)
+	}
+	sc.ids = sc.ids[:n]
+	sc.skeys = sc.skeys[:n]
+	if cap(sc.offsets) < p+1 {
+		sc.offsets = make([]uint32, p+1)
+		sc.cursor = make([]uint32, p)
+	}
+	sc.offsets = sc.offsets[:p+1]
+	sc.cursor = sc.cursor[:p]
+	clear(sc.offsets)
+}
+
+// resizeGather additionally prepares the probe-only buffers (position
+// mapping, hit flags, per-shard selections).
+func (sc *batchScratch) resizeGather(n, p int) {
+	sc.resizeScatter(n, p)
+	if cap(sc.sidx) < n {
+		sc.sidx = make([]uint32, n)
+		sc.hits = make([]bool, n)
+	}
+	sc.sidx = sc.sidx[:n]
+	sc.hits = sc.hits[:n]
+	clear(sc.hits)
+	if cap(sc.psel) < p {
+		sc.psel = make([][]uint32, p)
+	}
+	sc.psel = sc.psel[:p]
+}
+
+// New builds a sharded filter with the given shard count (rounded up to a
+// power of two, clamped to [1, MaxShards]) by calling factory once per
+// shard.
+func New(factory Factory, shards int) (*Filter, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("sharded: nil factory")
+	}
+	p := ceilPow2(shards)
+	f := &Filter{factory: factory, lg: log2(p)}
+	g, err := newGeneration(factory, p, 0)
+	if err != nil {
+		return nil, err
+	}
+	f.gen.Store(g)
+	return f, nil
+}
+
+func ceilPow2(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxShards {
+		n = MaxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// SplitBits resolves a requested (total size, shard count) pair the way
+// New will: the count rounded up to a power of two within [1, MaxShards],
+// and the total split evenly. Callers building per-shard factories use it
+// so their arithmetic cannot drift from the wrapper's.
+func SplitBits(mBits uint64, shards int) (perShard uint64, p int) {
+	p = ceilPow2(shards)
+	return mBits / uint64(p), p
+}
+
+// minKeysPerShard keeps Recommend from splitting below the point where
+// per-shard fixed overheads (lock words, scatter bookkeeping, size
+// rounding) outweigh contention relief.
+const minKeysPerShard = 1 << 12
+
+// Recommend returns a shard count for a filter expected to hold n keys
+// with the given number of concurrent writers: the smallest power of two
+// giving every writer 4 lock stripes (the standard striped-lock rule of
+// thumb), capped so each shard still holds at least minKeysPerShard keys,
+// and by MaxShards. A single writer gets 1: there is no contention to
+// relieve, and an unsharded filter has strictly cheaper lookups.
+func Recommend(n uint64, writers int) int {
+	if writers <= 1 {
+		return 1
+	}
+	p := 1
+	for p < 4*writers && p < MaxShards {
+		p <<= 1
+	}
+	for p > 1 && n/uint64(p) < minKeysPerShard {
+		p >>= 1
+	}
+	return p
+}
+
+func log2(p int) uint32 {
+	var lg uint32
+	for 1<<lg < p {
+		lg++
+	}
+	return lg
+}
+
+func newGeneration(factory Factory, p int, seq uint64) (*generation, error) {
+	g := &generation{shards: make([]*shard, p), seq: seq}
+	for i := range g.shards {
+		inner, err := factory()
+		if err != nil {
+			return nil, fmt.Errorf("sharded: shard %d: %w", i, err)
+		}
+		g.shards[i] = &shard{f: inner}
+	}
+	return g, nil
+}
+
+// ShardOf returns the shard index key routes to. The partition hash uses
+// the Murmur multiplicative constant — independent of the Golden-ratio
+// constants the filter kernels consume — so the keys landing in one shard
+// still look uniformly random to that shard's kernel.
+func (f *Filter) ShardOf(key Key) int {
+	if f.lg == 0 {
+		return 0
+	}
+	return int(hashing.TagHash(key) >> (32 - f.lg))
+}
+
+// NumShards returns the shard count.
+func (f *Filter) NumShards() int { return 1 << f.lg }
+
+// Generation returns the current generation's sequence number, starting
+// at 0 and incremented by each Rotate.
+func (f *Filter) Generation() uint64 { return f.gen.Load().seq }
+
+// Insert adds a key to its shard under that shard's write lock. Only
+// cuckoo shards can fail (ErrFull, when the shard's table is saturated).
+func (f *Filter) Insert(key Key) error {
+	g := f.gen.Load()
+	s := g.shards[f.ShardOf(key)]
+	s.mu.Lock()
+	err := s.f.Insert(key)
+	if err == nil {
+		s.count++
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// InsertBatch adds a batch of keys, grouping them by shard so each
+// shard's write lock is taken once per batch instead of once per key —
+// the write-side counterpart of ContainsBatch's scatter, and the path
+// the filter server's binary insert plane uses. It returns the number of
+// keys successfully inserted. On error (a cuckoo shard saturating) the
+// batch stops immediately; because keys are processed in shard order,
+// the inserted keys are NOT an input-order prefix — callers recovering
+// from ErrFull should rotate to a larger generation and replay the whole
+// batch rather than resume mid-batch.
+func (f *Filter) InsertBatch(keys []Key) (int, error) {
+	g := f.gen.Load()
+	p := len(g.shards)
+	if p == 1 {
+		s := g.shards[0]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for i, k := range keys {
+			if err := s.f.Insert(k); err != nil {
+				return i, err
+			}
+			s.count++
+		}
+		return len(keys), nil
+	}
+	n := len(keys)
+	if n == 0 {
+		return 0, nil
+	}
+	sc, _ := f.scratch.Get().(*batchScratch)
+	if sc == nil {
+		sc = new(batchScratch)
+	}
+	sc.resizeScatter(n, p)
+	defer f.scratch.Put(sc)
+
+	ids, offsets := sc.ids, sc.offsets
+	for i, k := range keys {
+		s := f.ShardOf(k)
+		ids[i] = uint16(s)
+		offsets[s+1]++
+	}
+	for s := 0; s < p; s++ {
+		offsets[s+1] += offsets[s]
+	}
+	skeys, cursor := sc.skeys, sc.cursor
+	copy(cursor, offsets[:p])
+	for i, k := range keys {
+		s := ids[i]
+		skeys[cursor[s]] = k
+		cursor[s]++
+	}
+
+	inserted := 0
+	for s := 0; s < p; s++ {
+		lo, hi := offsets[s], offsets[s+1]
+		if lo == hi {
+			continue
+		}
+		sh := g.shards[s]
+		sh.mu.Lock()
+		for _, k := range skeys[lo:hi] {
+			if err := sh.f.Insert(k); err != nil {
+				sh.mu.Unlock()
+				return inserted, err
+			}
+			sh.count++
+			inserted++
+		}
+		sh.mu.Unlock()
+	}
+	return inserted, nil
+}
+
+// Contains reports whether key may be in the set (no false negatives for
+// keys inserted into the current generation).
+func (f *Filter) Contains(key Key) bool {
+	g := f.gen.Load()
+	s := g.shards[f.ShardOf(key)]
+	s.mu.RLock()
+	ok := s.f.Contains(key)
+	s.mu.RUnlock()
+	return ok
+}
+
+// ContainsBatch appends to sel the positions i for which keys[i] may be
+// contained and returns the extended slice. The batch is partitioned by
+// shard with one counting-sort pass, the shards are probed (in parallel
+// for batches of at least parallelBatchMin keys), and the per-shard hits
+// are merged back in ascending position order — byte-identical to probing
+// the shards sequentially and to the scalar Contains path.
+func (f *Filter) ContainsBatch(keys []Key, sel core.SelVec) core.SelVec {
+	g := f.gen.Load()
+	p := len(g.shards)
+	if p == 1 {
+		s := g.shards[0]
+		s.mu.RLock()
+		sel = s.f.ContainsBatch(keys, sel)
+		s.mu.RUnlock()
+		return sel
+	}
+	n := len(keys)
+	if n == 0 {
+		return sel
+	}
+	sc, _ := f.scratch.Get().(*batchScratch)
+	if sc == nil {
+		sc = new(batchScratch)
+	}
+	sc.resizeGather(n, p)
+	defer f.scratch.Put(sc)
+
+	// Scatter: counting sort the batch into per-shard contiguous runs,
+	// remembering each scattered key's original position.
+	ids, offsets := sc.ids, sc.offsets
+	for i, k := range keys {
+		s := f.ShardOf(k)
+		ids[i] = uint16(s)
+		offsets[s+1]++
+	}
+	for s := 0; s < p; s++ {
+		offsets[s+1] += offsets[s]
+	}
+	skeys, sidx, cursor := sc.skeys, sc.sidx, sc.cursor
+	copy(cursor, offsets[:p])
+	for i, k := range keys {
+		s := ids[i]
+		at := cursor[s]
+		skeys[at] = k
+		sidx[at] = uint32(i)
+		cursor[s]++
+	}
+
+	// Gather: probe each shard's run; mark hits at original positions.
+	// Distinct shards own distinct positions (and distinct psel slots),
+	// so workers never write the same element.
+	hits := sc.hits
+	probeShard := func(s int) {
+		lo, hi := offsets[s], offsets[s+1]
+		if lo == hi {
+			return
+		}
+		sub := skeys[lo:hi]
+		sh := g.shards[s]
+		sh.mu.RLock()
+		psel := sh.f.ContainsBatch(sub, sc.psel[s][:0])
+		sh.mu.RUnlock()
+		sc.psel[s] = psel
+		for _, pos := range psel {
+			hits[sidx[lo+uint32(pos)]] = true
+		}
+	}
+	if workers := min(p, runtime.GOMAXPROCS(0)); n >= parallelBatchMin && workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					s := int(next.Add(1)) - 1
+					if s >= p {
+						return
+					}
+					probeShard(s)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for s := 0; s < p; s++ {
+			probeShard(s)
+		}
+	}
+
+	// Merge, preserving batch order.
+	for i, hit := range hits {
+		if hit {
+			sel = append(sel, uint32(i))
+		}
+	}
+	return sel
+}
+
+// Rotate builds a complete replacement generation off to the side and
+// swaps it in with one atomic store. factory supplies the new shards (nil
+// reuses the previous factory — e.g. to clear without resizing). fill, if
+// non-nil, runs before the swap with a concurrency-safe insert into the
+// staging generation, so the replacement can be populated — from a key
+// log, an iterator, or parallel loaders — while readers and writers keep
+// hitting the old generation.
+//
+// Rotations are serialized. Writes that race with the swap may land in
+// the retiring generation and vanish with it; callers needing lossless
+// rotation should quiesce writers or replay a key log into fill.
+func (f *Filter) Rotate(factory Factory, fill func(insert func(Key) error) error) error {
+	f.rotateMu.Lock()
+	defer f.rotateMu.Unlock()
+	if factory == nil {
+		factory = f.factory
+	}
+	old := f.gen.Load()
+	ng, err := newGeneration(factory, len(old.shards), old.seq+1)
+	if err != nil {
+		return err
+	}
+	if fill != nil {
+		insert := func(key Key) error {
+			s := ng.shards[f.ShardOf(key)]
+			s.mu.Lock()
+			err := s.f.Insert(key)
+			if err == nil {
+				s.count++
+			}
+			s.mu.Unlock()
+			return err
+		}
+		if err := fill(insert); err != nil {
+			return fmt.Errorf("sharded: rotation fill: %w", err)
+		}
+	}
+	f.factory = factory
+	f.gen.Store(ng)
+	return nil
+}
+
+// Reset clears every shard in place (the generation is kept; use Rotate to
+// clear without blocking readers behind write locks).
+func (f *Filter) Reset() {
+	f.rotateMu.Lock()
+	defer f.rotateMu.Unlock()
+	g := f.gen.Load()
+	for _, s := range g.shards {
+		s.mu.Lock()
+		s.f.Reset()
+		s.count = 0
+		s.mu.Unlock()
+	}
+}
+
+// Count returns the total number of successful inserts into the current
+// generation (a live snapshot; concurrent writers may change it).
+func (f *Filter) Count() uint64 {
+	var total uint64
+	for _, s := range f.gen.Load().shards {
+		s.mu.RLock()
+		total += s.count
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+// SizeBits returns the summed size of all shards. Shard locks are taken
+// because growable kinds (the exact set) reallocate under Insert.
+func (f *Filter) SizeBits() uint64 {
+	var total uint64
+	for _, s := range f.gen.Load().shards {
+		s.mu.RLock()
+		total += s.f.SizeBits()
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+// FPR returns the analytic false-positive rate with n keys stored: the
+// per-shard model evaluated at the expected n/P keys per shard (the
+// partition hash spreads keys uniformly).
+func (f *Filter) FPR(n uint64) float64 {
+	g := f.gen.Load()
+	p := uint64(len(g.shards))
+	s := g.shards[0]
+	s.mu.RLock()
+	fpr := s.f.FPR((n + p - 1) / p)
+	s.mu.RUnlock()
+	return fpr
+}
+
+// Stats is a point-in-time snapshot of the sharded filter.
+type Stats struct {
+	Shards     int      // shard count P
+	Generation uint64   // rotation sequence number
+	SizeBits   uint64   // summed shard size
+	Count      uint64   // total successful inserts this generation
+	PerShard   []uint64 // per-shard insert counts (balance diagnostic)
+}
+
+// Stats snapshots shard counts and sizes.
+func (f *Filter) Stats() Stats {
+	g := f.gen.Load()
+	st := Stats{
+		Shards:     len(g.shards),
+		Generation: g.seq,
+		PerShard:   make([]uint64, len(g.shards)),
+	}
+	for i, s := range g.shards {
+		s.mu.RLock()
+		st.PerShard[i] = s.count
+		st.SizeBits += s.f.SizeBits()
+		s.mu.RUnlock()
+		st.Count += st.PerShard[i]
+	}
+	return st
+}
+
+// String describes the wrapper and one shard's configuration.
+func (f *Filter) String() string {
+	g := f.gen.Load()
+	s := g.shards[0]
+	s.mu.RLock()
+	inner := s.f.String()
+	s.mu.RUnlock()
+	return fmt.Sprintf("sharded[P=%d gen=%d] %s", len(g.shards), g.seq, inner)
+}

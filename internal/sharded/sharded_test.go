@@ -1,0 +1,398 @@
+package sharded
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"perfilter/internal/blocked"
+	"perfilter/internal/exact"
+	"perfilter/internal/rng"
+)
+
+// exactInner adapts exact.Set (no false positives — every mismatch is a
+// real merge bug, not filter noise).
+type exactInner struct{ s *exact.Set }
+
+func (e exactInner) Insert(key Key) error { e.s.Insert(key); return nil }
+func (e exactInner) Contains(key Key) bool {
+	return e.s.Contains(key)
+}
+func (e exactInner) ContainsBatch(keys []Key, sel []uint32) []uint32 {
+	return e.s.ContainsBatch(keys, sel)
+}
+func (e exactInner) SizeBits() uint64     { return e.s.SizeBits() }
+func (e exactInner) FPR(n uint64) float64 { return 0 }
+func (e exactInner) Reset()               { e.s.Reset() }
+func (e exactInner) String() string       { return e.s.String() }
+
+func exactFactory() (Inner, error) { return exactInner{exact.New(1024)}, nil }
+
+// bloomInner adapts a blocked Bloom filter.
+type bloomInner struct{ f blocked.Probe }
+
+func (b bloomInner) Insert(key Key) error { b.f.Insert(key); return nil }
+func (b bloomInner) Contains(key Key) bool {
+	return b.f.Contains(key)
+}
+func (b bloomInner) ContainsBatch(keys []Key, sel []uint32) []uint32 {
+	return b.f.ContainsBatch(keys, sel)
+}
+func (b bloomInner) SizeBits() uint64     { return b.f.SizeBits() }
+func (b bloomInner) FPR(n uint64) float64 { return b.f.FPR(n) }
+func (b bloomInner) Reset()               { b.f.Reset() }
+func (b bloomInner) String() string       { return b.f.Params().String() }
+
+func bloomFactory(mBits uint64) Factory {
+	return func() (Inner, error) {
+		f, err := blocked.New(blocked.CacheSectorizedParams(64, 512, 2, 8, true), mBits)
+		if err != nil {
+			return nil, err
+		}
+		return bloomInner{f}, nil
+	}
+}
+
+func TestCeilPow2(t *testing.T) {
+	cases := map[int]int{-3: 1, 0: 1, 1: 1, 2: 2, 3: 4, 8: 8, 9: 16, MaxShards: MaxShards, MaxShards + 1: MaxShards}
+	for in, want := range cases {
+		if got := ceilPow2(in); got != want {
+			t.Errorf("ceilPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestShardOfInRange(t *testing.T) {
+	f, err := New(exactFactory, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumShards() != 8 {
+		t.Fatalf("NumShards = %d, want 8", f.NumShards())
+	}
+	r := rng.NewMT19937(1)
+	seen := make([]int, 8)
+	for i := 0; i < 1_000_000; i++ {
+		seen[f.ShardOf(r.Uint32())]++
+	}
+	for s, c := range seen {
+		// Uniform expectation 125k; a 20% band catches gross skew.
+		if c < 100_000 || c > 150_000 {
+			t.Errorf("shard %d got %d of 1M keys — partition hash is skewed", s, c)
+		}
+	}
+}
+
+// TestBatchMatchesScalar checks the core contract on the exact inner
+// (zero false positives, so expected membership is computable): the
+// scatter/gather batch must reproduce the scalar path byte-for-byte, in
+// both the sequential (small batch) and parallel (large batch) regimes.
+func TestBatchMatchesScalar(t *testing.T) {
+	for _, shards := range []int{1, 2, 8, 64} {
+		t.Run(fmt.Sprintf("P=%d", shards), func(t *testing.T) {
+			f, err := New(exactFactory, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rng.NewMT19937(42)
+			for i := 0; i < 20_000; i++ {
+				if err := f.Insert(r.Uint32() | 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, batch := range []int{0, 1, 100, parallelBatchMin, 3 * parallelBatchMin} {
+				probe := make([]Key, batch)
+				for i := range probe {
+					if i%2 == 0 {
+						probe[i] = r.Uint32() | 1 // maybe inserted
+					} else {
+						probe[i] = r.Uint32() &^ 1 // never inserted
+					}
+				}
+				sel := f.ContainsBatch(probe, nil)
+				j := 0
+				for i, k := range probe {
+					want := f.Contains(k)
+					got := j < len(sel) && sel[j] == uint32(i)
+					if got != want {
+						t.Fatalf("batch=%d pos=%d: batch says %v, scalar says %v", batch, i, got, want)
+					}
+					if got {
+						j++
+					}
+				}
+				if j != len(sel) {
+					t.Fatalf("batch=%d: %d trailing selection entries", batch, len(sel)-j)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchMatchesSequentialShards checks scatter/gather against the
+// straightforward reference: probing each shard's filter directly, one
+// shard at a time, no locks — same partition, same kernels.
+func TestBatchMatchesSequentialShards(t *testing.T) {
+	const shards = 16
+	f, err := New(bloomFactory(1<<16), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.NewMT19937(7)
+	for i := 0; i < 50_000; i++ {
+		if err := f.Insert(r.Uint32()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := make([]Key, 3*parallelBatchMin)
+	for i := range probe {
+		probe[i] = r.Uint32()
+	}
+	got := f.ContainsBatch(probe, nil)
+
+	g := f.gen.Load()
+	var want []uint32
+	for i, k := range probe {
+		if g.shards[f.ShardOf(k)].f.Contains(k) {
+			want = append(want, uint32(i))
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("selection length %d, reference %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("selection[%d] = %d, reference %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRotate(t *testing.T) {
+	f, err := New(exactFactory, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []Key{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, k := range keys {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Generation() != 0 {
+		t.Fatalf("generation = %d before any rotation", f.Generation())
+	}
+
+	// Rotate with a fill that carries over the even keys only.
+	err = f.Rotate(nil, func(insert func(Key) error) error {
+		for _, k := range keys {
+			if k%2 == 0 {
+				if err := insert(k); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Generation() != 1 {
+		t.Fatalf("generation = %d after rotation, want 1", f.Generation())
+	}
+	for _, k := range keys {
+		want := k%2 == 0
+		if f.Contains(k) != want {
+			t.Fatalf("after rotation Contains(%d) = %v, want %v", k, !want, want)
+		}
+	}
+	if got := f.Count(); got != 4 {
+		t.Fatalf("Count = %d after rotation fill, want 4", got)
+	}
+
+	// A failing factory must leave the current generation untouched.
+	boom := errors.New("boom")
+	err = f.Rotate(func() (Inner, error) { return nil, boom }, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("Rotate with failing factory: err = %v", err)
+	}
+	if f.Generation() != 1 || !f.Contains(2) {
+		t.Fatal("failed rotation must not replace the live generation")
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	f, err := New(exactFactory, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.NewMT19937(3)
+	for i := 0; i < 1000; i++ {
+		if err := f.Insert(r.Uint32()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.Stats()
+	if st.Shards != 4 || st.Count != 1000 || len(st.PerShard) != 4 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+	var sum uint64
+	for _, c := range st.PerShard {
+		sum += c
+	}
+	if sum != st.Count {
+		t.Fatalf("per-shard counts sum to %d, total %d", sum, st.Count)
+	}
+	if st.SizeBits == 0 || st.SizeBits != f.SizeBits() {
+		t.Fatalf("SizeBits mismatch: stats %d, method %d", st.SizeBits, f.SizeBits())
+	}
+	f.Reset()
+	if f.Count() != 0 {
+		t.Fatalf("Count = %d after Reset", f.Count())
+	}
+}
+
+// TestConcurrentInsertProbe hammers inserts, scalar and batched probes,
+// and rotations from many goroutines; run with -race. Correctness checked
+// here is "no false negatives for keys this goroutine inserted into the
+// current generation"; byte-level equivalence is covered by the
+// deterministic tests above.
+func TestConcurrentInsertProbe(t *testing.T) {
+	f, err := New(bloomFactory(1<<14), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, readers = 4, 4
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, writers+readers)
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			r := rng.NewMT19937(uint32(100 + w))
+			for i := 0; i < 20_000; i++ {
+				k := r.Uint32()
+				if err := f.Insert(k); err != nil {
+					errCh <- err
+					return
+				}
+				// No rotations run here, so an inserted key must be visible.
+				if !f.Contains(k) {
+					errCh <- fmt.Errorf("lost key %d", k)
+					return
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		readerWG.Add(1)
+		go func(g int) {
+			defer readerWG.Done()
+			r := rng.NewMT19937(uint32(200 + g))
+			probe := make([]Key, parallelBatchMin)
+			sel := make([]uint32, 0, len(probe))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range probe {
+					probe[i] = r.Uint32()
+				}
+				sel = f.ContainsBatch(probe, sel[:0])
+				for i := 1; i < len(sel); i++ {
+					if sel[i] <= sel[i-1] {
+						errCh <- fmt.Errorf("selection vector not ascending")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if got := f.Count(); got != writers*20_000 {
+		t.Fatalf("Count = %d after %d concurrent inserts", got, writers*20_000)
+	}
+}
+
+// fullAfter is an Inner that accepts only the first capacity inserts —
+// exercises InsertBatch's error path.
+type fullAfter struct {
+	inner    Inner
+	capacity int
+	n        int
+}
+
+func (f *fullAfter) Insert(key Key) error {
+	if f.n >= f.capacity {
+		return errors.New("full")
+	}
+	f.n++
+	return f.inner.Insert(key)
+}
+func (f *fullAfter) Contains(key Key) bool { return f.inner.Contains(key) }
+func (f *fullAfter) ContainsBatch(keys []Key, sel []uint32) []uint32 {
+	return f.inner.ContainsBatch(keys, sel)
+}
+func (f *fullAfter) SizeBits() uint64     { return f.inner.SizeBits() }
+func (f *fullAfter) FPR(n uint64) float64 { return 0 }
+func (f *fullAfter) Reset()               { f.n = 0; f.inner.Reset() }
+func (f *fullAfter) String() string       { return "fullAfter" }
+
+func TestInsertBatch(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		t.Run(fmt.Sprintf("P=%d", shards), func(t *testing.T) {
+			f, err := New(exactFactory, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rng.NewMT19937(13)
+			keys := make([]Key, 10_000)
+			for i := range keys {
+				keys[i] = r.Uint32()
+			}
+			n, err := f.InsertBatch(keys)
+			if err != nil || n != len(keys) {
+				t.Fatalf("InsertBatch = (%d, %v), want (%d, nil)", n, err, len(keys))
+			}
+			if got := f.Count(); got != uint64(len(keys)) {
+				t.Fatalf("Count = %d after batch insert of %d", got, len(keys))
+			}
+			sel := f.ContainsBatch(keys, nil)
+			if len(sel) != len(keys) {
+				t.Fatalf("%d of %d batch-inserted keys visible", len(sel), len(keys))
+			}
+		})
+	}
+}
+
+func TestInsertBatchStopsWhenFull(t *testing.T) {
+	const perShard = 100
+	f, err := New(func() (Inner, error) {
+		return &fullAfter{inner: exactInner{exact.New(1024)}, capacity: perShard}, nil
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.NewMT19937(17)
+	keys := make([]Key, 4*perShard+500)
+	for i := range keys {
+		keys[i] = r.Uint32()
+	}
+	n, err := f.InsertBatch(keys)
+	if err == nil {
+		t.Fatal("InsertBatch on saturating shards returned no error")
+	}
+	if n == 0 || uint64(n) != f.Count() {
+		t.Fatalf("InsertBatch reported %d inserted, Count says %d", n, f.Count())
+	}
+}

@@ -31,7 +31,10 @@
 // All sizes are given and reported in bits; constructors round up to each
 // structure's addressing granularity (powers of two, or "magic modulo"
 // sizes within 0.014% of the request). Filters are safe for concurrent
-// readers; writes need external synchronization.
+// readers; writes need external synchronization — or use NewSharded,
+// which partitions any configuration across per-shard locks for
+// multi-core writers, scatter/gather batch probes, and atomic generation
+// rotation (see ConcurrentFilter).
 package perfilter
 
 import (
