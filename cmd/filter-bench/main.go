@@ -7,10 +7,14 @@
 // aggregate insert and batched-probe throughput (keys/s) across 1..N
 // goroutines, sharded filter vs the single-mutex baseline.
 //
+// -json FILE additionally writes the run as a machine-readable
+// BENCH_*.json summary (series + headline-config FPR), which CI archives
+// as an artifact so throughput trajectories survive across commits.
+//
 // Usage:
 //
-//	filter-bench [-fig 3|5|9|14|15|ablation] [-quick] [-size MiB]
-//	filter-bench -parallel N [-shards P] [-quick] [-size MiB]
+//	filter-bench [-fig 3|5|9|14|15|ablation] [-quick] [-size MiB] [-json BENCH_fig14.json]
+//	filter-bench -parallel N [-shards P] [-quick] [-size MiB] [-json BENCH_parallel.json]
 package main
 
 import (
@@ -30,6 +34,7 @@ func main() {
 	sizeMiB := flag.Uint64("size", 256, "large-filter size in MiB (figures 5, 9 and -parallel)")
 	parallel := flag.Int("parallel", 0, "run the parallel-throughput experiment across 1..N goroutines")
 	shards := flag.Int("shards", 0, "shard count for -parallel (0 = 4 lock stripes per goroutine)")
+	jsonPath := flag.String("json", "", "also write a BENCH_*.json throughput/FPR summary to this path")
 	flag.Parse()
 
 	eff := bench.FullEffort()
@@ -38,42 +43,67 @@ func main() {
 	}
 	bigBits := *sizeMiB << 23 // MiB → bits
 
+	var series []bench.Series
+	var fig15 []bench.Fig15Row
+	experiment := "fig" + *fig
+
 	if *parallel > 0 {
+		experiment = "parallel"
 		counts := bench.GoroutineCounts(*parallel)
 		fmt.Printf("# Parallel insert throughput, %d MiB filter, sharded vs single mutex\n", *sizeMiB)
-		fmt.Print(bench.Format(bench.ParallelInsert(counts, *shards, bigBits, eff)))
+		ins := bench.ParallelInsert(counts, *shards, bigBits, eff)
+		fmt.Print(bench.Format(ins))
 		fmt.Printf("# Parallel batched-probe throughput (batch %d)\n", core.DefaultBatch)
-		fmt.Print(bench.Format(bench.ParallelProbe(counts, *shards, bigBits, eff)))
-		return
+		prb := bench.ParallelProbe(counts, *shards, bigBits, eff)
+		fmt.Print(bench.Format(prb))
+		series = append(append(series, ins...), prb...)
+	} else {
+		switch *fig {
+		case "3":
+			cfg := model.Config{Kind: model.KindBlockedBloom,
+				Bloom: blocked.CacheSectorizedParams(64, 512, 2, 8, true)}
+			fmt.Println("# Figure 3: overhead vs filter size (analytic, SKX model)")
+			series = []bench.Series{
+				bench.Fig3OverheadCurve(cfg, 1<<22, 1024, model.SKX()),
+			}
+			fmt.Print(bench.Format(series))
+		case "5":
+			fmt.Println("# Figure 5a: 16 KiB (cache-resident) filter, k=16")
+			a := bench.Fig5Sectorization(16<<10*8, 16, eff)
+			fmt.Print(bench.Format(a))
+			fmt.Printf("# Figure 5b: %d MiB (DRAM-resident) filter, k=16\n", *sizeMiB)
+			b := bench.Fig5Sectorization(bigBits, 16, eff)
+			fmt.Print(bench.Format(b))
+			series = append(append(series, a...), b...)
+		case "9":
+			fmt.Println("# Figure 9: magic vs pow2 lookup cost across sizes (cache-sectorized k=8 B=512 z=2)")
+			series = bench.Fig9MagicModulo(bigBits, eff)
+			fmt.Print(bench.Format(series))
+		case "14":
+			fmt.Println("# Figure 14: cycles per lookup vs filter size")
+			series = bench.Fig14LookupScaling(1<<16, bigBits, eff)
+			fmt.Print(bench.Format(series))
+		case "15":
+			fmt.Println("# Figure 15: batch-kernel speedups (host; see EXPERIMENTS.md for the SIMD gap)")
+			fig15 = bench.Fig15BatchSpeedup(eff)
+			fmt.Print(bench.FormatFig15(fig15))
+		case "ablation":
+			fmt.Println("# Ablation: cuckoo bucket size at tw=2^14 (the b=2 finding, §6)")
+			series = []bench.Series{bench.AblationCuckooBucket(1<<14, eff)}
+			fmt.Print(bench.Format(series))
+		default:
+			fmt.Fprintln(os.Stderr, "filter-bench: unknown experiment", *fig)
+			os.Exit(1)
+		}
 	}
 
-	switch *fig {
-	case "3":
-		cfg := model.Config{Kind: model.KindBlockedBloom,
-			Bloom: blocked.CacheSectorizedParams(64, 512, 2, 8, true)}
-		fmt.Println("# Figure 3: overhead vs filter size (analytic, SKX model)")
-		fmt.Print(bench.Format([]bench.Series{
-			bench.Fig3OverheadCurve(cfg, 1<<22, 1024, model.SKX()),
-		}))
-	case "5":
-		fmt.Println("# Figure 5a: 16 KiB (cache-resident) filter, k=16")
-		fmt.Print(bench.Format(bench.Fig5Sectorization(16<<10*8, 16, eff)))
-		fmt.Printf("# Figure 5b: %d MiB (DRAM-resident) filter, k=16\n", *sizeMiB)
-		fmt.Print(bench.Format(bench.Fig5Sectorization(bigBits, 16, eff)))
-	case "9":
-		fmt.Println("# Figure 9: magic vs pow2 lookup cost across sizes (cache-sectorized k=8 B=512 z=2)")
-		fmt.Print(bench.Format(bench.Fig9MagicModulo(bigBits, eff)))
-	case "14":
-		fmt.Println("# Figure 14: cycles per lookup vs filter size")
-		fmt.Print(bench.Format(bench.Fig14LookupScaling(1<<16, bigBits, eff)))
-	case "15":
-		fmt.Println("# Figure 15: batch-kernel speedups (host; see EXPERIMENTS.md for the SIMD gap)")
-		fmt.Print(bench.FormatFig15(bench.Fig15BatchSpeedup(eff)))
-	case "ablation":
-		fmt.Println("# Ablation: cuckoo bucket size at tw=2^14 (the b=2 finding, §6)")
-		fmt.Print(bench.Format([]bench.Series{bench.AblationCuckooBucket(1<<14, eff)}))
-	default:
-		fmt.Fprintln(os.Stderr, "filter-bench: unknown experiment", *fig)
-		os.Exit(1)
+	if *jsonPath != "" {
+		summary := bench.NewSummary(experiment, *quick, *sizeMiB, series)
+		summary.Fig15 = fig15
+		if err := summary.WriteJSON(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "filter-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# summary written to %s\n", *jsonPath)
 	}
 }

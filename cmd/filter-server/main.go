@@ -1,17 +1,26 @@
 // filter-server serves named sharded filters over HTTP: a JSON control
-// plane (create/rotate/stats per filter) and a binary little-endian batch
-// data plane (insert/probe). See internal/server for the endpoint
-// reference and README.md for curl examples.
+// plane (create/rotate/snapshot/stats per filter) and a binary
+// little-endian batch data plane (insert/probe). See internal/server for
+// the endpoint reference and README.md for curl examples.
+//
+// With -data-dir set the server is durable: every snapshot in the
+// directory is restored on start (probe results byte-identical to the
+// pre-restart filters), POST /v1/filters/{name}/snapshot persists on
+// demand, and SIGINT/SIGTERM trigger a snapshot of every filter before
+// the process exits.
 //
 // Usage:
 //
-//	filter-server [-addr :8077] [-max-batch-bytes 16777216]
+//	filter-server [-addr :8077] [-data-dir /var/lib/filter-server] [-max-batch-bytes 16777216]
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"perfilter/internal/server"
@@ -19,6 +28,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8077", "listen address")
+	dataDir := flag.String("data-dir", "",
+		"snapshot directory; restores *.pf on start, saves all filters on shutdown (empty = no persistence)")
 	maxBatch := flag.Int64("max-batch-bytes", server.DefaultMaxBatchBytes,
 		"largest accepted insert/probe body in bytes (4 bytes per key)")
 	maxBits := flag.Uint64("max-filter-bits", server.DefaultMaxFilterBits,
@@ -27,13 +38,49 @@ func main() {
 		"memory budget across all filters, in bits")
 	flag.Parse()
 
+	reg := server.New(server.Options{
+		MaxBatchBytes: *maxBatch, MaxFilterBits: *maxBits, MaxTotalBits: *maxTotal,
+		DataDir: *dataDir,
+	})
+	if *dataDir != "" {
+		loaded, err := reg.LoadAll()
+		if err != nil {
+			log.Printf("filter-server: restore: %v", err)
+		}
+		log.Printf("filter-server: restored %d filter(s) from %s", loaded, *dataDir)
+	}
+
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: server.New(server.Options{
-			MaxBatchBytes: *maxBatch, MaxFilterBits: *maxBits, MaxTotalBits: *maxTotal,
-		}).Handler(),
+		Addr:              *addr,
+		Handler:           reg.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("filter-server listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: stop accepting, drain in-flight requests, then
+	// persist every filter so the restart resumes where this run stopped.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	// A deadline here means in-flight requests were cut off — the
+	// snapshots below may predate writes those clients believe landed, so
+	// it must be visible to the operator.
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("filter-server: shutdown: %v", err)
+	}
+	if *dataDir != "" {
+		saved, err := reg.SaveAll()
+		if err != nil {
+			log.Printf("filter-server: snapshot on shutdown: %v", err)
+		}
+		log.Printf("filter-server: saved %d filter(s) to %s", saved, *dataDir)
+	}
 }

@@ -2,6 +2,7 @@ package perfilter
 
 import (
 	"fmt"
+	"sync"
 
 	"perfilter/internal/sharded"
 )
@@ -22,7 +23,12 @@ type ConcurrentFilter interface {
 	// built generation of mBits total bits (0 keeps the current size).
 	// fill, if non-nil, is called before the swap with a concurrency-safe
 	// insert into the staging generation, while readers continue on the
-	// old one.
+	// old one. Inserts that observe the staging generation (it is
+	// published before fill starts, and every insert re-checks it as its
+	// final step) are routed into both the retiring and the staging
+	// generation and survive the swap; inserts that predate it survive
+	// only if fill's source observes them — replay a key log that writers
+	// append to before inserting, and no acknowledged write is lost.
 	Rotate(mBits uint64, fill func(insert func(Key) error) error) error
 	// Stats snapshots shard occupancy and rotation state.
 	Stats() ShardStats
@@ -39,6 +45,14 @@ type ShardStats = sharded.Stats
 type Sharded struct {
 	s   *sharded.Filter
 	cfg Config
+	// mu serializes the wrapper-level rotate (its read-modify-write of
+	// perShard) and the serialization snapshot, so a Marshal never pairs
+	// one rotation's shard payloads with another's per-shard size.
+	mu sync.Mutex
+	// perShard is the current per-shard size request in bits, recorded so
+	// serialization (serialize.go) can rebuild an equivalent factory on
+	// restore; guarded by mu.
+	perShard uint64
 }
 
 // NewSharded builds a sharded concurrent filter: cfg at (at least) mBits
@@ -68,7 +82,7 @@ func NewSharded(cfg Config, mBits uint64, shards int) (*Sharded, error) {
 	if perShard == 0 {
 		return nil, fmt.Errorf("perfilter: %d bits cannot be split across %d shards", mBits, p)
 	}
-	sh := &Sharded{cfg: cfg}
+	sh := &Sharded{cfg: cfg, perShard: perShard}
 	s, err := sharded.New(sh.factory(perShard), p)
 	if err != nil {
 		return nil, err
@@ -145,20 +159,37 @@ func (s *Sharded) Stats() ShardStats { return s.s.Stats() }
 // Rotate implements ConcurrentFilter: it builds a replacement generation
 // of mBits total bits (0 keeps the current size) off to the side, runs
 // fill against it if non-nil, then swaps it in with one atomic store.
-// Readers never block; writes racing with the swap may land in the
-// retiring generation (quiesce writers or replay a log into fill for
-// lossless rotation).
+// Readers never block, and the staging generation doubles as a dual-write
+// target from before fill starts until after the swap: an insert whose
+// final re-check observes the window is present afterwards. Inserts that
+// complete before the window opens (including ones racing the new
+// generation's construction) are dropped unless fill's source observes
+// them — rotation replaces contents; pair fill with a key log that
+// writers append to before inserting and every acknowledged key is
+// retained.
 func (s *Sharded) Rotate(mBits uint64, fill func(insert func(Key) error) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var factory sharded.Factory
+	perShard := s.perShard
 	if mBits != 0 {
-		perShard, p := sharded.SplitBits(mBits, s.s.NumShards())
+		var p int
+		perShard, p = sharded.SplitBits(mBits, s.s.NumShards())
 		if perShard == 0 {
 			return fmt.Errorf("perfilter: %d bits cannot be split across %d shards", mBits, p)
 		}
 		factory = s.factory(perShard)
 	}
-	return s.s.Rotate(factory, fill)
+	if err := s.s.Rotate(factory, fill); err != nil {
+		return err
+	}
+	s.perShard = perShard
+	return nil
 }
+
+// Config returns the per-shard filter configuration the wrapper was built
+// with.
+func (s *Sharded) Config() Config { return s.cfg }
 
 // compile-time interface checks
 var (

@@ -362,6 +362,65 @@ func TestShardedRotationUnderLoad(t *testing.T) {
 	}
 }
 
+// TestInsertBatchErrFullRecovery pins the documented ErrFull contract:
+// the keys inserted before a cuckoo shard saturates are NOT an
+// input-order prefix (the batch is applied shard by shard), and the
+// documented recovery — rotate to a larger generation and replay the
+// whole batch — recovers every key.
+func TestInsertBatchErrFullRecovery(t *testing.T) {
+	// A deliberately undersized sharded cuckoo filter: 8 shards sized for
+	// ~4k keys total, fed a 40k-key batch.
+	const n = 40_000
+	sh, err := NewSharded(Config{Kind: Cuckoo, TagBits: 16, BucketSize: 4, Magic: true},
+		CuckooSizeForKeys(16, 4, n/10), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.NewMT19937(23)
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = r.Uint32()
+	}
+	inserted, err := sh.InsertBatch(keys)
+	if err == nil {
+		t.Fatalf("undersized cuckoo absorbed all %d keys", n)
+	}
+	if inserted == 0 || inserted >= n {
+		t.Fatalf("inserted = %d of %d on ErrFull", inserted, n)
+	}
+	// Non-prefix: at least one key beyond position `inserted` made it in
+	// before the saturating shard errored — because the batch is applied
+	// in shard order, not input order. (Cuckoo filters have no false
+	// negatives, so Contains is authoritative here; a tail key answering
+	// true in a mostly-empty filter is a contained key, not noise.)
+	tailHit := false
+	for _, k := range keys[inserted:] {
+		if sh.Contains(k) {
+			tailHit = true
+			break
+		}
+	}
+	if !tailHit {
+		t.Fatal("inserted keys form an input-order prefix; the documented non-prefix semantics no longer hold")
+	}
+	// Documented recovery: rotate to a larger generation and replay the
+	// whole batch. Every key must land this time.
+	if err := sh.Rotate(CuckooSizeForKeys(16, 4, n+n/8), nil); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := sh.InsertBatch(keys)
+	if err != nil {
+		t.Fatalf("replay after rotate-larger failed: %v", err)
+	}
+	if replayed != n {
+		t.Fatalf("replay inserted %d of %d", replayed, n)
+	}
+	sel := sh.ContainsBatch(keys, nil)
+	if len(sel) != n {
+		t.Fatalf("%d of %d keys present after rotate-and-replay", len(sel), n)
+	}
+}
+
 func TestRecommendShards(t *testing.T) {
 	if got := RecommendShards(1<<20, 8); got != 32 {
 		t.Errorf("RecommendShards(1M, 8) = %d, want 32 (4 stripes per writer)", got)

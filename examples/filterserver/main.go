@@ -1,7 +1,9 @@
 // Filter-server client walkthrough: starts the server in-process on a
 // loopback port, then drives it the way a remote client would — create a
 // filter from a workload description, push keys through the binary insert
-// plane, probe a batch, read stats, and rotate the filter under traffic.
+// plane, probe a batch, read stats, rotate the filter under traffic, and
+// finally snapshot it and "restart" into a second server that restores
+// the filter with identical probe results.
 //
 //	go run ./examples/filterserver
 package main
@@ -15,18 +17,25 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 
 	"perfilter/internal/server"
 )
 
 func main() {
-	// Serve on an ephemeral loopback port. A real deployment runs
-	// cmd/filter-server instead; everything below is plain HTTP either way.
+	// Serve on an ephemeral loopback port with a throwaway snapshot
+	// directory. A real deployment runs cmd/filter-server -data-dir
+	// instead; everything below is plain HTTP either way.
+	dataDir, err := os.MkdirTemp("", "filterserver-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dataDir)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	go http.Serve(ln, server.New(server.Options{}).Handler())
+	go http.Serve(ln, server.New(server.Options{DataDir: dataDir}).Handler())
 	base := "http://" + ln.Addr().String()
 	fmt.Println("filter-server at", base)
 
@@ -112,6 +121,48 @@ func main() {
 		log.Fatalf("post-rotation probe: status %d err %v", resp.StatusCode, err)
 	}
 	fmt.Printf("probe after rotation: %d of 1024 keys still selected\n", len(sel)/4)
+
+	// Durability: refill the rotated filter, snapshot it to the data dir,
+	// then "restart" — a second server restoring from the same directory
+	// answers the same probe with byte-identical results.
+	for lo := uint32(0); lo < n; lo += batch {
+		for i := uint32(0); i < batch; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], key(lo+i))
+		}
+		resp, err := http.Post(base+"/v1/filters/users/insert", "application/octet-stream", bytes.NewReader(buf))
+		if err != nil {
+			log.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	snap := postJSON(base+"/v1/filters/users/snapshot", map[string]any{})
+	fmt.Printf("snapshot: %.0f KiB at %v\n", snap["bytes"].(float64)/1024, snap["path"])
+	before, err := http.Post(base+"/v1/filters/users/probe", "application/octet-stream", bytes.NewReader(probe))
+	if err != nil {
+		log.Fatal(err)
+	}
+	selBefore, _ := io.ReadAll(before.Body)
+	before.Body.Close()
+
+	reg2 := server.New(server.Options{DataDir: dataDir})
+	if _, err := reg2.LoadAll(); err != nil {
+		log.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln2, reg2.Handler())
+	base2 := "http://" + ln2.Addr().String()
+	after, err := http.Post(base2+"/v1/filters/users/probe", "application/octet-stream", bytes.NewReader(probe))
+	if err != nil {
+		log.Fatal(err)
+	}
+	selAfter, _ := io.ReadAll(after.Body)
+	after.Body.Close()
+	fmt.Printf("restored server at %s: probe selections byte-identical across restart: %v\n",
+		base2, bytes.Equal(selBefore, selAfter))
 }
 
 func postJSON(url string, body map[string]any) map[string]any {

@@ -1,20 +1,16 @@
 package perfilter
 
 import (
-	"fmt"
-
-	"perfilter/internal/blocked"
 	"perfilter/internal/counting"
-	"perfilter/internal/cuckoo"
 	"perfilter/internal/hashing"
 	"perfilter/internal/scalable"
 )
 
 // This file hosts the extension surface beyond the paper's core filters:
 // deletable and growable Bloom variants from the paper's related-work
-// section (§7), filter serialization (what a distributed semi-join
-// broadcast actually ships), and helpers for hashing wider keys down to
-// the 32-bit key space the filters operate on.
+// section (§7) and helpers for hashing wider keys down to the 32-bit key
+// space the filters operate on. Serialization (what a distributed
+// semi-join broadcast actually ships) lives in serialize.go.
 
 // CountingBloomFilter is a blocked counting Bloom filter: a Bloom filter
 // that supports deletion by keeping 4-bit saturating counters instead of
@@ -116,39 +112,6 @@ var (
 	_ Filter = (*CountingBloomFilter)(nil)
 	_ Filter = (*ScalableBloomFilter)(nil)
 )
-
-// Marshal serializes a filter built by this package for network transfer
-// or persistence (e.g. the semi-join broadcast). Blocked Bloom filters and
-// cuckoo filters are supported.
-func Marshal(f Filter) ([]byte, error) {
-	switch v := f.(type) {
-	case *blockedAdapter:
-		m, ok := v.f.(interface{ MarshalBinary() ([]byte, error) })
-		if !ok {
-			return nil, fmt.Errorf("perfilter: filter does not serialize")
-		}
-		return m.MarshalBinary()
-	case *CuckooFilter:
-		return v.f.MarshalBinary()
-	default:
-		return nil, fmt.Errorf("perfilter: %T does not serialize", f)
-	}
-}
-
-// Unmarshal reverses Marshal, reconstructing the filter with its type and
-// parameters.
-func Unmarshal(data []byte) (Filter, error) {
-	if len(data) >= 4 {
-		// Dispatch on the wire magic (both formats put it first).
-		if f, err := blocked.Unmarshal(data); err == nil {
-			return &blockedAdapter{f}, nil
-		}
-		if f, err := cuckoo.Unmarshal(data); err == nil {
-			return &CuckooFilter{f}, nil
-		}
-	}
-	return nil, fmt.Errorf("perfilter: unrecognized filter encoding")
-}
 
 // Hash64 folds a 64-bit key into the 32-bit key space the filters operate
 // on, preserving entropy from both halves. Collisions at 32 bits are part

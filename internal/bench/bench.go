@@ -22,13 +22,14 @@ import (
 	"perfilter/internal/rng"
 )
 
-// Series is one plotted line: paired X/Y values with labels.
+// Series is one plotted line: paired X/Y values with labels. The JSON
+// tags shape the BENCH_*.json summaries filter-bench emits for CI.
 type Series struct {
-	Name   string
-	XLabel string
-	YLabel string
-	X      []float64
-	Y      []float64
+	Name   string    `json:"name"`
+	XLabel string    `json:"x_label"`
+	YLabel string    `json:"y_label"`
+	X      []float64 `json:"x"`
+	Y      []float64 `json:"y"`
 }
 
 // Format renders series as aligned columns (x once, one y column per

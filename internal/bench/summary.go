@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"perfilter/internal/blocked"
+	"perfilter/internal/cuckoo"
+	"perfilter/internal/model"
+)
+
+// Summary is the machine-readable result of one filter-bench run —
+// written as BENCH_*.json so CI can archive throughput/FPR trajectories
+// across commits instead of scraping stdout.
+type Summary struct {
+	Experiment string       `json:"experiment"`
+	Quick      bool         `json:"quick"`
+	SizeMiB    uint64       `json:"size_mib"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	Series     []Series     `json:"series"`
+	Fig15      []Fig15Row   `json:"fig15,omitempty"`
+	FPR        []FPRSummary `json:"fpr"`
+}
+
+// FPRSummary is one headline configuration's analytic false-positive rate
+// at the run's filter size and the sweep's 16 bits/key fill.
+type FPRSummary struct {
+	Config string  `json:"config"`
+	MBits  uint64  `json:"mbits"`
+	N      uint64  `json:"n"`
+	FPR    float64 `json:"fpr"`
+}
+
+// headlineConfigs are the paper's flagship configurations, reported in
+// every summary so FPR is tracked alongside throughput.
+func headlineConfigs() []model.Config {
+	return []model.Config{
+		{Kind: model.KindBlockedBloom, Bloom: blocked.CacheSectorizedParams(64, 512, 2, 8, true)},
+		{Kind: model.KindBlockedBloom, Bloom: blocked.RegisterBlockedParams(64, 2, true)},
+		{Kind: model.KindCuckoo, Cuckoo: cuckoo.Params{TagBits: 16, BucketSize: 2, Magic: true}},
+	}
+}
+
+// NewSummary assembles a Summary for the run: the experiment's series
+// plus the headline configurations' analytic FPR at the run's size.
+func NewSummary(experiment string, quick bool, sizeMiB uint64, series []Series) Summary {
+	mBits := sizeMiB << 23
+	n := mBits / 16 // the sweep's 16 bits/key midpoint
+	s := Summary{
+		Experiment: experiment,
+		Quick:      quick,
+		SizeMiB:    sizeMiB,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Series:     series,
+	}
+	for _, cfg := range headlineConfigs() {
+		s.FPR = append(s.FPR, FPRSummary{
+			Config: cfg.String(), MBits: mBits, N: n, FPR: cfg.FPR(mBits, n),
+		})
+	}
+	return s
+}
+
+// WriteJSON writes the summary to path (indented, trailing newline).
+func (s Summary) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal summary: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

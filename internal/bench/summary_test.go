@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSummaryWriteJSON(t *testing.T) {
+	s := NewSummary("parallel", true, 4, []Series{
+		{Name: "sharded", XLabel: "goroutines", YLabel: "keys/s",
+			X: []float64{1, 2}, Y: []float64{1e6, 2e6}},
+	})
+	if len(s.FPR) == 0 {
+		t.Fatal("summary carries no FPR entries")
+	}
+	for _, f := range s.FPR {
+		if f.FPR <= 0 || f.FPR >= 1 {
+			t.Fatalf("%s: analytic FPR %v out of (0,1)", f.Config, f.FPR)
+		}
+		if f.MBits != 4<<23 || f.N != f.MBits/16 {
+			t.Fatalf("%s: size/fill %d/%d inconsistent with 4 MiB at 16 bits/key", f.Config, f.MBits, f.N)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := s.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("summary is not valid JSON: %v", err)
+	}
+	if back.Experiment != "parallel" || !back.Quick || back.SizeMiB != 4 ||
+		len(back.Series) != 1 || len(back.FPR) != len(s.FPR) {
+		t.Fatalf("round-tripped summary differs: %+v", back)
+	}
+}

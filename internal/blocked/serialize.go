@@ -13,8 +13,12 @@ import (
 // block count) followed by the raw word array. Filters deserialize on any
 // architecture; word order is canonicalized to little-endian.
 
+// WireMagic is the first little-endian uint32 of every serialized blocked
+// filter; the perfilter package dispatches decoders on it.
+const WireMagic = 0x70664C42 // "pfLB"
+
 const (
-	wireMagic   = 0x70664C42 // "pfLB"
+	wireMagic   = WireMagic
 	wireVersion = 1
 )
 

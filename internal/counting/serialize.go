@@ -1,0 +1,80 @@
+package counting
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Serialization mirrors package blocked's: a fixed little-endian header
+// (magic, version, parameters, block count, diagnostics) followed by the
+// raw counter words, canonicalized to little-endian.
+
+// WireMagic is the first little-endian uint32 of every serialized
+// counting filter; the perfilter package dispatches decoders on it.
+const WireMagic = 0x70664C4E // "pfLN"
+
+const (
+	wireVersion = 1
+	headerLen   = 4 + 1 + 1 + 4 + 4 + 8 + 8
+)
+
+// MarshalBinary serializes the filter (header + counter words).
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	out := make([]byte, headerLen+len(f.words)*8)
+	le := binary.LittleEndian
+	le.PutUint32(out[0:], WireMagic)
+	out[4] = wireVersion
+	if f.params.Magic {
+		out[5] = 1
+	}
+	le.PutUint32(out[6:], f.params.K)
+	le.PutUint32(out[10:], f.numBlocks)
+	le.PutUint64(out[14:], f.count)
+	le.PutUint64(out[22:], f.overflowed)
+	for i, w := range f.words {
+		le.PutUint64(out[headerLen+i*8:], w)
+	}
+	return out, nil
+}
+
+// Unmarshal reconstructs a filter from MarshalBinary output.
+func Unmarshal(data []byte) (*Filter, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("counting: truncated header")
+	}
+	le := binary.LittleEndian
+	if le.Uint32(data[0:]) != WireMagic {
+		return nil, fmt.Errorf("counting: bad magic")
+	}
+	if data[4] != wireVersion {
+		return nil, fmt.Errorf("counting: unsupported version %d", data[4])
+	}
+	p := Params{Magic: data[5] == 1, K: le.Uint32(data[6:])}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	numBlocks := le.Uint32(data[10:])
+	if numBlocks == 0 {
+		return nil, fmt.Errorf("counting: zero blocks")
+	}
+	// Rebuild through New at the exact rounded counter count; the block
+	// count must reproduce (New rounds an already-rounded size to itself).
+	f, err := New(p, uint64(numBlocks)*BlockCounters)
+	if err != nil {
+		return nil, err
+	}
+	if f.numBlocks != numBlocks {
+		return nil, fmt.Errorf("counting: block count mismatch (%d vs %d)",
+			f.numBlocks, numBlocks)
+	}
+	if len(data) != headerLen+len(f.words)*8 {
+		return nil, fmt.Errorf("counting: body length %d, want %d",
+			len(data)-headerLen, len(f.words)*8)
+	}
+	f.count = le.Uint64(data[14:])
+	f.overflowed = le.Uint64(data[22:])
+	for i := range f.words {
+		f.words[i] = le.Uint64(data[headerLen+i*8:])
+	}
+	return f, nil
+}

@@ -153,9 +153,14 @@ func New(p Params, mBits uint64) (*Filter, error) {
 	}
 	totalBits := uint64(f.numBuckets) * uint64(f.bucketBits)
 	f.words = make([]uint64, (totalBits+63)/64+1) // +1: straddle-free tail reads
-	f.kickRNG = *rng.NewSplitMix64(0x6B756B6F6F6B6375)
+	f.kickRNG = *rng.NewSplitMix64(kickSeed)
 	return f, nil
 }
+
+// kickSeed seeds the kick-loop RNG; New and Reset must use the same seed
+// so a reset filter is byte-for-byte equivalent to a fresh one under
+// identical inserts.
+const kickSeed = 0x6B756B6F6F6B6375
 
 // tagAndIndex hashes a key into its signature and primary bucket index.
 // The signature is drawn from hash bits after the index so the two are
@@ -368,11 +373,15 @@ func (f *Filter) Params() Params { return f.params }
 // FPR returns the analytic false-positive rate (Eq. 8) with n keys stored.
 func (f *Filter) FPR(n uint64) float64 { return f.params.FPR(f.SizeBits(), n) }
 
-// Reset clears the filter.
+// Reset clears the filter, including the kick-loop RNG state, so the
+// reset filter behaves identically to a freshly constructed one: the same
+// insert sequence yields the same table bytes (and the same eviction
+// choices) either way.
 func (f *Filter) Reset() {
 	clear(f.words)
 	f.count = 0
 	f.hasVictim = false
+	f.kickRNG = *rng.NewSplitMix64(kickSeed)
 }
 
 func nextPow2u64(x uint64) uint64 {

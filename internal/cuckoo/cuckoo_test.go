@@ -480,6 +480,61 @@ func TestStringAndAccessors(t *testing.T) {
 	}
 }
 
+// TestResetMatchesFresh pins the Reset contract: after Reset, the filter
+// must be byte-for-byte equivalent to a freshly constructed one under the
+// same insert sequence. The regression this guards: Reset used to keep
+// the kick RNG's advanced state, so post-Reset inserts made different
+// eviction choices than a fresh filter and the tables diverged — breaking
+// Reset-vs-Rotate(nil) equivalence in the sharded wrapper.
+func TestResetMatchesFresh(t *testing.T) {
+	p := Params{TagBits: 8, BucketSize: 4, Magic: true}
+	const mBits = 1 << 14
+	f, err := New(p, mBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill to 90% load so the kick loop (and its RNG) runs plenty, then
+	// reset and replay a fixed insert sequence.
+	mustFill(t, f, 0.90, 31)
+	f.Reset()
+	if f.Count() != 0 || f.LoadFactor() != 0 {
+		t.Fatalf("Reset left count=%d load=%v", f.Count(), f.LoadFactor())
+	}
+
+	fresh, err := New(p, mBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.NewMT19937(77)
+	for {
+		k := r.Uint32()
+		errReset := f.Insert(k)
+		errFresh := fresh.Insert(k)
+		if (errReset == nil) != (errFresh == nil) {
+			t.Fatalf("insert divergence: reset filter err=%v, fresh err=%v", errReset, errFresh)
+		}
+		if errReset != nil || f.LoadFactor() > 0.90 {
+			break
+		}
+	}
+	a, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fresh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("serialized sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reset filter diverges from fresh at byte %d (kick RNG not reseeded?)", i)
+		}
+	}
+}
+
 func BenchmarkContainsBatch(b *testing.B) {
 	for _, p := range []Params{
 		{TagBits: 16, BucketSize: 2},

@@ -9,8 +9,12 @@ import (
 // followed by the packed tag words, plus the victim slot so a parked tag
 // survives the round trip with no false negatives.
 
+// WireMagic is the first little-endian uint32 of every serialized cuckoo
+// filter; the perfilter package dispatches decoders on it.
+const WireMagic = 0x70664C43 // "pfLC"
+
 const (
-	wireMagic   = 0x70664C43 // "pfLC"
+	wireMagic   = WireMagic
 	wireVersion = 1
 	headerLen   = 4 + 1 + 1 + 4 + 4 + 4 + 8 + 4 + 4 + 1
 )

@@ -1,0 +1,133 @@
+package scalable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"perfilter/internal/blocked"
+)
+
+// Serialization nests package blocked's format: a fixed little-endian
+// header with the growth options, then one length-prefixed blocked
+// payload per stage alongside the stage's design limits, so the restored
+// filter resumes growing exactly where the original left off.
+
+// WireMagic is the first little-endian uint32 of every serialized
+// scalable filter; the perfilter package dispatches decoders on it.
+const WireMagic = 0x70664C47 // "pfLG"
+
+const (
+	wireVersion    = 1
+	headerLen      = 4 + 1 + 3 + 8 + 8 + 8 + 8 + 4
+	stageHeaderLen = 8 + 8 + 8 + 4
+)
+
+// MarshalBinary serializes the filter (options header + stages).
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	le := binary.LittleEndian
+	payloads := make([][]byte, len(f.stages))
+	total := headerLen
+	for i, st := range f.stages {
+		m, ok := st.filter.(interface{ MarshalBinary() ([]byte, error) })
+		if !ok {
+			return nil, fmt.Errorf("scalable: stage %d does not serialize", i)
+		}
+		p, err := m.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("scalable: stage %d: %w", i, err)
+		}
+		if uint64(len(p)) > math.MaxUint32 {
+			return nil, fmt.Errorf("scalable: stage %d payload (%d bytes) exceeds the 4 GiB record limit", i, len(p))
+		}
+		payloads[i] = p
+		total += stageHeaderLen + len(p)
+	}
+	out := make([]byte, headerLen, total)
+	le.PutUint32(out[0:], WireMagic)
+	out[4] = wireVersion
+	le.PutUint64(out[8:], f.opts.InitialCapacity)
+	le.PutUint64(out[16:], math.Float64bits(f.opts.TargetFPR))
+	le.PutUint64(out[24:], math.Float64bits(f.opts.GrowthFactor))
+	le.PutUint64(out[32:], math.Float64bits(f.opts.TighteningRatio))
+	le.PutUint32(out[40:], uint32(len(f.stages)))
+	for i, st := range f.stages {
+		var hdr [stageHeaderLen]byte
+		le.PutUint64(hdr[0:], st.capacity)
+		le.PutUint64(hdr[8:], st.inserted)
+		le.PutUint64(hdr[16:], math.Float64bits(st.fprGoal))
+		le.PutUint32(hdr[24:], uint32(len(payloads[i])))
+		out = append(out, hdr[:]...)
+		out = append(out, payloads[i]...)
+	}
+	return out, nil
+}
+
+// Unmarshal reconstructs a filter from MarshalBinary output.
+func Unmarshal(data []byte) (*Filter, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("scalable: truncated header")
+	}
+	le := binary.LittleEndian
+	if le.Uint32(data[0:]) != WireMagic {
+		return nil, fmt.Errorf("scalable: bad magic")
+	}
+	if data[4] != wireVersion {
+		return nil, fmt.Errorf("scalable: unsupported version %d", data[4])
+	}
+	opts := Options{
+		InitialCapacity: le.Uint64(data[8:]),
+		TargetFPR:       math.Float64frombits(le.Uint64(data[16:])),
+		GrowthFactor:    math.Float64frombits(le.Uint64(data[24:])),
+		TighteningRatio: math.Float64frombits(le.Uint64(data[32:])),
+	}
+	// New normalized these before they were ever marshaled, so anything
+	// out of range here is corruption — reject at decode time rather than
+	// on the first stage-growth insert. (NaNs fail every comparison and
+	// land in the error branch too.)
+	if opts.InitialCapacity == 0 || !(opts.TargetFPR > 0 && opts.TargetFPR < 1) ||
+		!(opts.GrowthFactor >= 1.2) || !(opts.TighteningRatio > 0 && opts.TighteningRatio < 1) {
+		return nil, fmt.Errorf("scalable: invalid options in encoding (capacity %d, target %v, growth %v, tightening %v)",
+			opts.InitialCapacity, opts.TargetFPR, opts.GrowthFactor, opts.TighteningRatio)
+	}
+	numStages := le.Uint32(data[40:])
+	if numStages == 0 {
+		return nil, fmt.Errorf("scalable: zero stages")
+	}
+	f := &Filter{opts: opts}
+	off := headerLen
+	for i := uint32(0); i < numStages; i++ {
+		if len(data) < off+stageHeaderLen {
+			return nil, fmt.Errorf("scalable: truncated stage %d header", i)
+		}
+		st := stage{
+			capacity: le.Uint64(data[off:]),
+			inserted: le.Uint64(data[off+8:]),
+			fprGoal:  math.Float64frombits(le.Uint64(data[off+16:])),
+		}
+		if st.capacity == 0 || st.inserted > st.capacity || !(st.fprGoal > 0 && st.fprGoal < 1) {
+			return nil, fmt.Errorf("scalable: invalid stage %d limits (capacity %d, inserted %d, goal %v)",
+				i, st.capacity, st.inserted, st.fprGoal)
+		}
+		plen32 := le.Uint32(data[off+24:])
+		off += stageHeaderLen
+		// Compare in uint64 so a crafted length cannot wrap int on 32-bit
+		// platforms and slip past the bounds check into a slice panic;
+		// after the check, plen fits an int on any platform.
+		if uint64(len(data)-off) < uint64(plen32) {
+			return nil, fmt.Errorf("scalable: truncated stage %d payload", i)
+		}
+		plen := int(plen32)
+		probe, err := blocked.Unmarshal(data[off : off+plen])
+		if err != nil {
+			return nil, fmt.Errorf("scalable: stage %d: %w", i, err)
+		}
+		st.filter = probe
+		f.stages = append(f.stages, st)
+		off += plen
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("scalable: %d trailing bytes", len(data)-off)
+	}
+	return f, nil
+}

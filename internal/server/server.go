@@ -11,7 +11,16 @@
 //	DELETE /v1/filters/{name}        drop a filter
 //	POST   /v1/filters/{name}/rotate swap in a fresh generation (optionally
 //	                                 resized) under live traffic
+//	POST   /v1/filters/{name}/snapshot
+//	                                 persist the filter to the data dir
 //	GET    /healthz                  liveness
+//
+// Persistence: with Options.DataDir set, filters snapshot to
+// <dir>/<name>.pf (the perfilter wire format) via the endpoint above or
+// SaveAll (cmd/filter-server calls it on shutdown), and LoadAll restores
+// every snapshot on start with probe results byte-identical to the
+// originals. Restored filters count against the memory budget. Deleting
+// a filter also deletes its snapshot, so a restart cannot resurrect it.
 //
 // Data plane (binary, little-endian uint32 — the repository's canonical
 // key width — four bytes per key, no framing):
@@ -39,6 +48,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
@@ -73,6 +84,10 @@ type Options struct {
 	// MaxTotalBits caps the summed size of all filters; 0 means
 	// DefaultMaxTotalBits.
 	MaxTotalBits uint64
+	// DataDir, when non-empty, enables persistence: snapshots are written
+	// to <DataDir>/<name>.pf and restored by LoadAll. The directory is
+	// created on first use.
+	DataDir string
 }
 
 // Server is the filter registry plus its HTTP handlers.
@@ -83,6 +98,12 @@ type Server struct {
 	maxBytes  int64
 	maxBits   uint64
 	totalBits uint64
+	dataDir   string
+	// fileMu serializes snapshot-file publication and removal, so a
+	// snapshot racing a DELETE (or a delete-recreate-snapshot sequence)
+	// can neither resurrect a deleted filter nor clobber a successor's
+	// freshly written snapshot.
+	fileMu sync.Mutex
 }
 
 // entry is one registered filter. A nil f marks an in-flight create's
@@ -116,6 +137,7 @@ func New(opts Options) *Server {
 	return &Server{
 		filters:  make(map[string]*entry),
 		maxBytes: maxBytes, maxBits: maxBits, totalBits: totalBits,
+		dataDir: opts.DataDir,
 	}
 }
 
@@ -130,6 +152,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/filters/{name}", s.handleStats)
 	mux.HandleFunc("DELETE /v1/filters/{name}", s.handleDelete)
 	mux.HandleFunc("POST /v1/filters/{name}/rotate", s.handleRotate)
+	mux.HandleFunc("POST /v1/filters/{name}/snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /v1/filters/{name}/insert", s.handleInsert)
 	mux.HandleFunc("POST /v1/filters/{name}/probe", s.handleProbe)
 	return mux
@@ -396,6 +419,14 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("no filter %q", name))
 		return
 	}
+	// Drop the snapshot too: a restart must not resurrect a deleted
+	// filter. Best-effort; a missing file is the common case. fileMu
+	// orders this against an in-flight snapshot's publish-or-abort.
+	if s.dataDir != "" {
+		s.fileMu.Lock()
+		os.Remove(s.snapshotPath(name))
+		s.fileMu.Unlock()
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
 
@@ -469,6 +500,196 @@ func (s *Server) handleRotate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, e.info(name))
+}
+
+// snapshotSuffix is the on-disk extension for persisted filters.
+const snapshotSuffix = ".pf"
+
+func (s *Server) snapshotPath(name string) string {
+	return filepath.Join(s.dataDir, name+snapshotSuffix)
+}
+
+// errDeletedDuringSnapshot reports that the filter was unregistered
+// between the snapshot request and its publication.
+var errDeletedDuringSnapshot = errors.New("filter was deleted during snapshot")
+
+// saveSnapshot serializes one filter and writes it atomically and
+// durably: temp file, fsync, rename, directory fsync — a crash mid-write
+// never leaves a truncated snapshot where the next start would read it.
+// Publication happens under fileMu and only while e is still the
+// registered entry, so a racing DELETE can neither be resurrected by
+// this snapshot nor have a successor's snapshot clobbered by it.
+func (s *Server) saveSnapshot(name string, e *entry) (int, error) {
+	data, err := perfilter.Marshal(e.f)
+	if err != nil {
+		return 0, fmt.Errorf("marshal %q: %w", name, err)
+	}
+	if err := os.MkdirAll(s.dataDir, 0o755); err != nil {
+		return 0, err
+	}
+	tmp, err := os.CreateTemp(s.dataDir, name+".*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
+	s.mu.RLock()
+	registered := s.filters[name] == e
+	s.mu.RUnlock()
+	if !registered {
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("%q: %w", name, errDeletedDuringSnapshot)
+	}
+	if err := os.Rename(tmp.Name(), s.snapshotPath(name)); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	// Persist the rename itself (best-effort: not every platform lets a
+	// directory be fsynced).
+	if d, err := os.Open(s.dataDir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return len(data), nil
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	name, e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if s.dataDir == "" {
+		writeErr(w, http.StatusBadRequest,
+			errors.New("server has no data dir (start filter-server with -data-dir)"))
+		return
+	}
+	n, err := s.saveSnapshot(name, e)
+	if errors.Is(err, errDeletedDuringSnapshot) {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"snapshot": name, "bytes": n, "path": s.snapshotPath(name),
+	})
+}
+
+// SaveAll snapshots every registered filter to the data dir (the shutdown
+// path). Filters that fail to save are reported joined; the rest are
+// still written.
+func (s *Server) SaveAll() (int, error) {
+	if s.dataDir == "" {
+		return 0, nil
+	}
+	s.mu.RLock()
+	names := make([]string, 0, len(s.filters))
+	entries := make([]*entry, 0, len(s.filters))
+	for name, e := range s.filters {
+		if e.f == nil { // in-flight create's placeholder
+			continue
+		}
+		names = append(names, name)
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	var errs []error
+	saved := 0
+	for i, name := range names {
+		if _, err := s.saveSnapshot(name, entries[i]); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		saved++
+	}
+	return saved, errors.Join(errs...)
+}
+
+// LoadAll restores every *.pf snapshot in the data dir into the registry
+// (the startup path), counting each against the memory budget and the
+// per-filter cap. Snapshots that fail to decode or no longer fit are
+// skipped and reported joined; the rest are served. Names already
+// registered are skipped (first registration wins).
+func (s *Server) LoadAll() (int, error) {
+	if s.dataDir == "" {
+		return 0, nil
+	}
+	dirents, err := os.ReadDir(s.dataDir)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var errs []error
+	loaded := 0
+	for _, de := range dirents {
+		if de.IsDir() {
+			continue
+		}
+		// Sweep temp files a crash left between CreateTemp and rename —
+		// startup is the one moment no snapshot can be in flight.
+		if strings.HasSuffix(de.Name(), ".tmp") {
+			os.Remove(filepath.Join(s.dataDir, de.Name()))
+			continue
+		}
+		if !strings.HasSuffix(de.Name(), snapshotSuffix) {
+			continue
+		}
+		name := strings.TrimSuffix(de.Name(), snapshotSuffix)
+		if !nameRE.MatchString(name) {
+			errs = append(errs, fmt.Errorf("snapshot %q: invalid filter name", de.Name()))
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dataDir, de.Name()))
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		f, err := perfilter.UnmarshalSharded(data)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("snapshot %q: %w", de.Name(), err))
+			continue
+		}
+		bits := f.SizeBits()
+		info, _ := de.Info()
+		created := time.Now().UTC()
+		if info != nil {
+			created = info.ModTime().UTC()
+		}
+		e := &entry{f: f, cfg: f.Config(), bits: bits, created: created}
+		s.mu.Lock()
+		switch {
+		case s.filters[name] != nil:
+			errs = append(errs, fmt.Errorf("snapshot %q: filter already registered", name))
+		case bits > s.maxBits:
+			errs = append(errs, fmt.Errorf("snapshot %q: %d bits exceeds the per-filter cap of %d", name, bits, s.maxBits))
+		case s.usedBits+bits > s.totalBits:
+			errs = append(errs, fmt.Errorf("snapshot %q: %d bits exceeds the remaining budget of %d", name, bits, remaining(s.totalBits, s.usedBits)))
+		default:
+			s.usedBits += bits
+			s.filters[name] = e
+			loaded++
+		}
+		s.mu.Unlock()
+	}
+	return loaded, errors.Join(errs...)
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {

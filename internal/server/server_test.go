@@ -326,3 +326,123 @@ func TestTotalMemoryBudget(t *testing.T) {
 	doJSON(t, "DELETE", ts.URL+"/v1/filters/b", nil, http.StatusOK)
 	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{Name: "c", Kind: "bloom", MBits: 1 << 20}, http.StatusCreated)
 }
+
+// TestSnapshotRestartEquivalence is the durability acceptance test: a
+// server with a data dir snapshots its filters, a second server restores
+// from the same dir, and every probe answers byte-identically — the
+// "kill and restart filter-server" scenario, minus the process boundary.
+func TestSnapshotRestartEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	ts := httptest.NewServer(New(Options{DataDir: dir}).Handler())
+	defer ts.Close()
+
+	nKeys := 100_000
+	if testing.Short() {
+		nKeys = 20_000
+	}
+	specs := []CreateRequest{
+		{Name: "bloom8", Kind: "bloom", MBits: uint64(nKeys) * 16, Shards: 4},
+		{Name: "classic", Kind: "classic", MBits: uint64(nKeys) * 16, Shards: 2},
+		{Name: "cuckoo", Kind: "cuckoo", MBits: uint64(nKeys) * 24, Shards: 4},
+		{Name: "exact", Kind: "exact", MBits: uint64(nKeys) * 128, Shards: 2},
+	}
+	r := rng.NewMT19937(4242)
+	keys := make([]uint32, nKeys)
+	for i := range keys {
+		keys[i] = r.Uint32()
+	}
+	probe := make([]uint32, nKeys)
+	for i := range probe {
+		if i%2 == 0 {
+			probe[i] = keys[i]
+		} else {
+			probe[i] = r.Uint32()
+		}
+	}
+	preSel := map[string][]byte{}
+	preInfo := map[string]map[string]any{}
+	for _, spec := range specs {
+		doJSON(t, "POST", ts.URL+"/v1/filters", spec, http.StatusCreated)
+		// A rotation before the fill gives the snapshot a non-zero
+		// generation to carry across the restart.
+		doJSON(t, "POST", ts.URL+"/v1/filters/"+spec.Name+"/rotate", nil, http.StatusOK)
+		resp := postBinary(t, ts.URL+"/v1/filters/"+spec.Name+"/insert", keys)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: insert status %d", spec.Name, resp.StatusCode)
+		}
+		resp = postBinary(t, ts.URL+"/v1/filters/"+spec.Name+"/probe", probe)
+		sel := new(bytes.Buffer)
+		sel.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: probe status %d", spec.Name, resp.StatusCode)
+		}
+		preSel[spec.Name] = sel.Bytes()
+		preInfo[spec.Name] = doJSON(t, "GET", ts.URL+"/v1/filters/"+spec.Name, nil, http.StatusOK)
+		// Snapshot on demand via the endpoint.
+		out := doJSON(t, "POST", ts.URL+"/v1/filters/"+spec.Name+"/snapshot", nil, http.StatusOK)
+		if out["bytes"].(float64) <= 0 {
+			t.Fatalf("%s: snapshot wrote %v bytes", spec.Name, out["bytes"])
+		}
+	}
+
+	// "Restart": a brand-new server restores from the same directory.
+	reg2 := New(Options{DataDir: dir})
+	loaded, err := reg2.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if loaded != len(specs) {
+		t.Fatalf("restored %d of %d filters", loaded, len(specs))
+	}
+	ts2 := httptest.NewServer(reg2.Handler())
+	defer ts2.Close()
+	for _, spec := range specs {
+		resp := postBinary(t, ts2.URL+"/v1/filters/"+spec.Name+"/probe", probe)
+		sel := new(bytes.Buffer)
+		sel.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: post-restart probe status %d", spec.Name, resp.StatusCode)
+		}
+		if !bytes.Equal(sel.Bytes(), preSel[spec.Name]) {
+			t.Fatalf("%s: probe selection changed across restart (%d vs %d bytes)",
+				spec.Name, sel.Len(), len(preSel[spec.Name]))
+		}
+		info := doJSON(t, "GET", ts2.URL+"/v1/filters/"+spec.Name, nil, http.StatusOK)
+		pre := preInfo[spec.Name]["filter"].(map[string]any)
+		post := info["filter"].(map[string]any)
+		for _, field := range []string{"config", "kind", "size_bits", "shards", "count", "generation"} {
+			if pre[field] != post[field] {
+				t.Fatalf("%s: %s changed across restart: %v vs %v", spec.Name, field, pre[field], post[field])
+			}
+		}
+	}
+
+	// Restored filters count against the budget: a tiny-budget server
+	// must refuse to restore what it cannot hold.
+	regTiny := New(Options{DataDir: dir, MaxTotalBits: 1})
+	loaded, err = regTiny.LoadAll()
+	if loaded != 0 || err == nil {
+		t.Fatalf("tiny-budget restore: loaded %d, err %v", loaded, err)
+	}
+
+	// A deleted filter's snapshot goes with it: no resurrection.
+	doJSON(t, "DELETE", ts2.URL+"/v1/filters/exact", nil, http.StatusOK)
+	reg3 := New(Options{DataDir: dir})
+	if loaded, _ = reg3.LoadAll(); loaded != len(specs)-1 {
+		t.Fatalf("restored %d filters after delete, want %d", loaded, len(specs)-1)
+	}
+}
+
+// TestSnapshotWithoutDataDir pins the error path: snapshotting on a
+// server with no data dir is a client error, not a crash.
+func TestSnapshotWithoutDataDir(t *testing.T) {
+	ts := newTestServer(t)
+	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{
+		Name: "f", Kind: "bloom", MBits: 1 << 16,
+	}, http.StatusCreated)
+	doJSON(t, "POST", ts.URL+"/v1/filters/f/snapshot", nil, http.StatusBadRequest)
+	doJSON(t, "POST", ts.URL+"/v1/filters/missing/snapshot", nil, http.StatusNotFound)
+}

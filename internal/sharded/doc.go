@@ -29,6 +29,17 @@
 //     hitting the old generation) and swaps it in with one atomic store,
 //     so a filter can be resized or rebuilt under live traffic with no
 //     stop-the-world pause.
+//   - Lossless writes across rotations. While a rotation is staging, a
+//     second atomic pointer publishes the staging generation as a
+//     dual-write target; writers re-check it (and the current generation)
+//     after every insert as their final step, so a write that observes
+//     the rotation survives the swap instead of vanishing with the
+//     retiring generation, and a write that predates it is the rotation
+//     fill's to replay (see Rotate for the key-log recipe that makes the
+//     combination airtight).
+//   - Snapshots. Snapshot serializes every shard (under the rotation
+//     lock) through a caller-supplied codec and Restore rebuilds the
+//     filter, which is how the filter server persists across restarts.
 //
 // The package is deliberately generic over an Inner interface rather than
 // depending on the root perfilter package (which would be an import

@@ -52,16 +52,29 @@ type shard struct {
 // operation and never observe a torn rotation.
 type generation struct {
 	shards []*shard
-	seq    uint64
+	seq    uint64 // public rotation number (Generation); +1 per successful Rotate
+	// id orders generations for the dual-write re-check loops. Unlike seq
+	// it is consumed even by rotations whose fill errors out, so a
+	// staging generation that was discarded can never share an id with a
+	// later successful one — the writer loop's "newest generation holding
+	// the key" comparison stays sound across aborted rotations.
+	id uint64
 }
 
 // Filter is a hash-partitioned, concurrency-safe wrapper around P Inner
 // filters. All methods are safe for concurrent use.
 type Filter struct {
-	gen      atomic.Pointer[generation]
+	gen atomic.Pointer[generation]
+	// staging is non-nil only inside a Rotate's dual-write window: from
+	// the moment the replacement generation exists until just after the
+	// swap. Writers that observe it insert into both the retiring and the
+	// staging generation, so an insert acknowledged during a rotation is
+	// never lost to the swap (see Insert and Rotate).
+	staging  atomic.Pointer[generation]
 	lg       uint32 // log2(len(shards))
 	factory  Factory
-	rotateMu sync.Mutex // serializes Rotate and Reset
+	rotateMu sync.Mutex // serializes Rotate, Reset and Snapshot
+	lastID   uint64     // last generation id handed out; guarded by rotateMu
 	scratch  sync.Pool  // *batchScratch, reused across ContainsBatch calls
 }
 
@@ -121,7 +134,7 @@ func New(factory Factory, shards int) (*Filter, error) {
 	}
 	p := ceilPow2(shards)
 	f := &Filter{factory: factory, lg: log2(p)}
-	g, err := newGeneration(factory, p, 0)
+	g, err := newGeneration(factory, p, 0, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -145,11 +158,14 @@ func ceilPow2(n int) int {
 
 // SplitBits resolves a requested (total size, shard count) pair the way
 // New will: the count rounded up to a power of two within [1, MaxShards],
-// and the total split evenly. Callers building per-shard factories use it
-// so their arithmetic cannot drift from the wrapper's.
+// and the total split by ceiling division, so P shards of perShard bits
+// always cover at least mBits (per-shard constructors then round up
+// further to their own addressing granularity). Callers building
+// per-shard factories use it so their arithmetic cannot drift from the
+// wrapper's.
 func SplitBits(mBits uint64, shards int) (perShard uint64, p int) {
 	p = ceilPow2(shards)
-	return mBits / uint64(p), p
+	return (mBits + uint64(p) - 1) / uint64(p), p
 }
 
 // minKeysPerShard keeps Recommend from splitting below the point where
@@ -185,8 +201,8 @@ func log2(p int) uint32 {
 	return lg
 }
 
-func newGeneration(factory Factory, p int, seq uint64) (*generation, error) {
-	g := &generation{shards: make([]*shard, p), seq: seq}
+func newGeneration(factory Factory, p int, seq, id uint64) (*generation, error) {
+	g := &generation{shards: make([]*shard, p), seq: seq, id: id}
 	for i := range g.shards {
 		inner, err := factory()
 		if err != nil {
@@ -215,10 +231,9 @@ func (f *Filter) NumShards() int { return 1 << f.lg }
 // at 0 and incremented by each Rotate.
 func (f *Filter) Generation() uint64 { return f.gen.Load().seq }
 
-// Insert adds a key to its shard under that shard's write lock. Only
-// cuckoo shards can fail (ErrFull, when the shard's table is saturated).
-func (f *Filter) Insert(key Key) error {
-	g := f.gen.Load()
+// insertInto adds a key to its shard in generation g under that shard's
+// write lock.
+func (f *Filter) insertInto(g *generation, key Key) error {
 	s := g.shards[f.ShardOf(key)]
 	s.mu.Lock()
 	err := s.f.Insert(key)
@@ -227,6 +242,50 @@ func (f *Filter) Insert(key Key) error {
 	}
 	s.mu.Unlock()
 	return err
+}
+
+// Insert adds a key to its shard under that shard's write lock. Only
+// cuckoo shards can fail (ErrFull, when the shard's table is saturated).
+//
+// Inserts are lossless across rotations: after the primary insert, the
+// writer re-checks the staging pointer and the current generation and
+// re-inserts into any newer generation it finds, so a key acknowledged
+// while a Rotate is in flight is present after the swap. An error from
+// any generation is returned before the insert is acknowledged (the key
+// may then be present in an older generation — harmless for approximate
+// filters, whose contract is one-sided).
+func (f *Filter) Insert(key Key) error {
+	g := f.gen.Load()
+	if err := f.insertInto(g, key); err != nil {
+		return err
+	}
+	// top is the newest generation known to hold the key. Loop until the
+	// current generation is no newer: each pass catches a rotation that
+	// staged or swapped a replacement after the previous insert landed.
+	// The gen re-check must be the FINAL load before acknowledging — it
+	// proves no swap landed since the staging check, so any rotation the
+	// staging check missed published only after this insert's earlier
+	// operations (including a caller's log append), where the fill's
+	// source observes them. Returning on a nil staging pointer alone
+	// would let a rotation that published, filled, swapped and cleared
+	// staging entirely between the two loads discard the key.
+	top := g
+	for {
+		if st := f.staging.Load(); st != nil && st.id > top.id {
+			if err := f.insertInto(st, key); err != nil {
+				return err
+			}
+			top = st
+		}
+		cur := f.gen.Load()
+		if cur.id <= top.id {
+			return nil
+		}
+		if err := f.insertInto(cur, key); err != nil {
+			return err
+		}
+		top = cur
+	}
 }
 
 // InsertBatch adds a batch of keys, grouping them by shard so each
@@ -239,67 +298,99 @@ func (f *Filter) Insert(key Key) error {
 // from ErrFull should rotate to a larger generation and replay the whole
 // batch rather than resume mid-batch.
 func (f *Filter) InsertBatch(keys []Key) (int, error) {
-	g := f.gen.Load()
-	p := len(g.shards)
-	if p == 1 {
-		s := g.shards[0]
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		for i, k := range keys {
-			if err := s.f.Insert(k); err != nil {
-				return i, err
-			}
-			s.count++
-		}
-		return len(keys), nil
-	}
 	n := len(keys)
 	if n == 0 {
 		return 0, nil
 	}
-	sc, _ := f.scratch.Get().(*batchScratch)
-	if sc == nil {
-		sc = new(batchScratch)
-	}
-	sc.resizeScatter(n, p)
-	defer f.scratch.Put(sc)
-
-	ids, offsets := sc.ids, sc.offsets
-	for i, k := range keys {
-		s := f.ShardOf(k)
-		ids[i] = uint16(s)
-		offsets[s+1]++
-	}
-	for s := 0; s < p; s++ {
-		offsets[s+1] += offsets[s]
-	}
-	skeys, cursor := sc.skeys, sc.cursor
-	copy(cursor, offsets[:p])
-	for i, k := range keys {
-		s := ids[i]
-		skeys[cursor[s]] = k
-		cursor[s]++
-	}
-
-	inserted := 0
-	for s := 0; s < p; s++ {
-		lo, hi := offsets[s], offsets[s+1]
-		if lo == hi {
-			continue
+	g := f.gen.Load()
+	p := len(g.shards)
+	var sc *batchScratch
+	if p > 1 {
+		sc, _ = f.scratch.Get().(*batchScratch)
+		if sc == nil {
+			sc = new(batchScratch)
 		}
-		sh := g.shards[s]
-		sh.mu.Lock()
-		for _, k := range skeys[lo:hi] {
-			if err := sh.f.Insert(k); err != nil {
-				sh.mu.Unlock()
+		sc.resizeScatter(n, p)
+		defer f.scratch.Put(sc)
+
+		ids, offsets := sc.ids, sc.offsets
+		for i, k := range keys {
+			s := f.ShardOf(k)
+			ids[i] = uint16(s)
+			offsets[s+1]++
+		}
+		for s := 0; s < p; s++ {
+			offsets[s+1] += offsets[s]
+		}
+		skeys, cursor := sc.skeys, sc.cursor
+		copy(cursor, offsets[:p])
+		for i, k := range keys {
+			s := ids[i]
+			skeys[cursor[s]] = k
+			cursor[s]++
+		}
+	}
+	// The scatter is generation-independent (rotations preserve the shard
+	// count), so the same grouped runs replay into staging and successor
+	// generations for the lossless re-check below.
+	insertAll := func(g *generation) (int, error) {
+		if p == 1 {
+			s := g.shards[0]
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			for i, k := range keys {
+				if err := s.f.Insert(k); err != nil {
+					return i, err
+				}
+				s.count++
+			}
+			return n, nil
+		}
+		inserted := 0
+		for s := 0; s < p; s++ {
+			lo, hi := sc.offsets[s], sc.offsets[s+1]
+			if lo == hi {
+				continue
+			}
+			sh := g.shards[s]
+			sh.mu.Lock()
+			for _, k := range sc.skeys[lo:hi] {
+				if err := sh.f.Insert(k); err != nil {
+					sh.mu.Unlock()
+					return inserted, err
+				}
+				sh.count++
+				inserted++
+			}
+			sh.mu.Unlock()
+		}
+		return inserted, nil
+	}
+
+	inserted, err := insertAll(g)
+	if err != nil {
+		return inserted, err
+	}
+	// Lossless re-check, mirroring Insert (gen re-checked last): replay
+	// the batch into any newer generation a concurrent Rotate staged or
+	// swapped in.
+	top := g
+	for {
+		if st := f.staging.Load(); st != nil && st.id > top.id {
+			if _, err := insertAll(st); err != nil {
 				return inserted, err
 			}
-			sh.count++
-			inserted++
+			top = st
 		}
-		sh.mu.Unlock()
+		cur := f.gen.Load()
+		if cur.id <= top.id {
+			return inserted, nil
+		}
+		if _, err := insertAll(cur); err != nil {
+			return inserted, err
+		}
+		top = cur
 	}
-	return inserted, nil
 }
 
 // Contains reports whether key may be in the set (no false negatives for
@@ -420,9 +511,16 @@ func (f *Filter) ContainsBatch(keys []Key, sel core.SelVec) core.SelVec {
 // log, an iterator, or parallel loaders — while readers and writers keep
 // hitting the old generation.
 //
-// Rotations are serialized. Writes that race with the swap may land in
-// the retiring generation and vanish with it; callers needing lossless
-// rotation should quiesce writers or replay a key log into fill.
+// Rotations are serialized. The staging generation is published (as a
+// dual-write target) before fill runs, and writers re-check it — and
+// then the current generation — after every insert, so a write whose
+// re-checks observe the rotation lands in the replacement generation and
+// survives the swap. A write whose checks all precede the publication —
+// including one racing the replacement generation's construction — is
+// dropped with the retiring generation unless fill's source observes it:
+// rotation replaces the filter's contents. Combine a key log that
+// writers append to before inserting with a fill that replays it, and
+// the two windows overlap — no acknowledged write is ever lost.
 func (f *Filter) Rotate(factory Factory, fill func(insert func(Key) error) error) error {
 	f.rotateMu.Lock()
 	defer f.rotateMu.Unlock()
@@ -430,27 +528,28 @@ func (f *Filter) Rotate(factory Factory, fill func(insert func(Key) error) error
 		factory = f.factory
 	}
 	old := f.gen.Load()
-	ng, err := newGeneration(factory, len(old.shards), old.seq+1)
+	// Consume a fresh id even if this rotation later aborts: a discarded
+	// staging generation must never share an id with a successor, or a
+	// stalled writer could mistake the successor for already-covered.
+	f.lastID++
+	ng, err := newGeneration(factory, len(old.shards), old.seq+1, f.lastID)
 	if err != nil {
 		return err
 	}
+	// Open the dual-write window before fill starts: from here until just
+	// after the swap, concurrent writers also insert into ng, covering
+	// every key a fill-side snapshot (e.g. a log read) can miss.
+	f.staging.Store(ng)
 	if fill != nil {
-		insert := func(key Key) error {
-			s := ng.shards[f.ShardOf(key)]
-			s.mu.Lock()
-			err := s.f.Insert(key)
-			if err == nil {
-				s.count++
-			}
-			s.mu.Unlock()
-			return err
-		}
+		insert := func(key Key) error { return f.insertInto(ng, key) }
 		if err := fill(insert); err != nil {
+			f.staging.Store(nil)
 			return fmt.Errorf("sharded: rotation fill: %w", err)
 		}
 	}
 	f.factory = factory
 	f.gen.Store(ng)
+	f.staging.Store(nil)
 	return nil
 }
 
@@ -530,6 +629,70 @@ func (f *Filter) Stats() Stats {
 		st.Count += st.PerShard[i]
 	}
 	return st
+}
+
+// Snapshot is a point-in-time serialized image of a sharded filter: the
+// generation sequence plus every shard's payload and insert count. The
+// shard count is len(Payloads); the payload encoding is whatever the
+// marshal callback produced (the perfilter package uses its per-kind wire
+// formats).
+type Snapshot struct {
+	Seq      uint64
+	Counts   []uint64
+	Payloads [][]byte
+}
+
+// Snapshot serializes every shard of the current generation through the
+// marshal callback, each under its read lock. The rotation lock is held
+// throughout, so the image is from one generation; inserts racing the
+// walk may be captured or not (the usual relaxed-snapshot contract).
+func (f *Filter) Snapshot(marshal func(Inner) ([]byte, error)) (*Snapshot, error) {
+	f.rotateMu.Lock()
+	defer f.rotateMu.Unlock()
+	g := f.gen.Load()
+	snap := &Snapshot{
+		Seq:      g.seq,
+		Counts:   make([]uint64, len(g.shards)),
+		Payloads: make([][]byte, len(g.shards)),
+	}
+	for i, s := range g.shards {
+		s.mu.RLock()
+		payload, err := marshal(s.f)
+		snap.Counts[i] = s.count
+		s.mu.RUnlock()
+		if err != nil {
+			return nil, fmt.Errorf("sharded: marshal shard %d: %w", i, err)
+		}
+		snap.Payloads[i] = payload
+	}
+	return snap, nil
+}
+
+// Restore rebuilds a filter from a Snapshot, decoding each shard through
+// the unmarshal callback. factory supplies replacement shards for future
+// Rotate calls and must build filters compatible with the restored ones.
+func Restore(snap *Snapshot, unmarshal func([]byte) (Inner, error), factory Factory) (*Filter, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("sharded: nil factory")
+	}
+	p := len(snap.Payloads)
+	if p == 0 || p&(p-1) != 0 || p > MaxShards {
+		return nil, fmt.Errorf("sharded: restore: shard count %d is not a power of two in [1, %d]", p, MaxShards)
+	}
+	if len(snap.Counts) != p {
+		return nil, fmt.Errorf("sharded: restore: %d counts for %d shards", len(snap.Counts), p)
+	}
+	f := &Filter{factory: factory, lg: log2(p)}
+	g := &generation{shards: make([]*shard, p), seq: snap.Seq}
+	for i, payload := range snap.Payloads {
+		inner, err := unmarshal(payload)
+		if err != nil {
+			return nil, fmt.Errorf("sharded: restore shard %d: %w", i, err)
+		}
+		g.shards[i] = &shard{f: inner, count: snap.Counts[i]}
+	}
+	f.gen.Store(g)
+	return f, nil
 }
 
 // String describes the wrapper and one shard's configuration.

@@ -324,6 +324,247 @@ func TestConcurrentInsertProbe(t *testing.T) {
 	}
 }
 
+// TestRotateLosslessUnderWriters is the lossless-rotation regression
+// test: writers hammer Insert and InsertBatch while a rotator repeatedly
+// swaps generations, each rotation's fill replaying a shared key log (the
+// production recipe). Every key acknowledged by a writer must be present
+// at the end — the dual-write window has to catch exactly the inserts
+// that race a rotation's log snapshot and swap. Run with -race.
+func TestRotateLosslessUnderWriters(t *testing.T) {
+	f, err := New(exactFactory, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 4
+	perWriter := 20_000
+	if testing.Short() {
+		perWriter = 5_000
+	}
+
+	// The durable key log: writers append before inserting, rotations
+	// replay a snapshot of it. Keys appended after a rotation's snapshot
+	// are exactly the ones only the dual-write window can save.
+	var logMu sync.Mutex
+	log := make([]Key, 0, writers*perWriter)
+	snapshotLog := func() []Key {
+		logMu.Lock()
+		defer logMu.Unlock()
+		return log[:len(log):len(log)]
+	}
+
+	var writerWG sync.WaitGroup
+	errCh := make(chan error, writers+1)
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			batch := make([]Key, 0, 64)
+			for i := 0; i < perWriter; i++ {
+				// Unique key per (writer, i): no cross-writer collisions.
+				k := Key(i*writers + w)
+				logMu.Lock()
+				log = append(log, k)
+				logMu.Unlock()
+				if i%3 == 2 {
+					// Exercise the batch path too.
+					batch = append(batch[:0], k, k^0x80000000)
+					logMu.Lock()
+					log = append(log, batch[1])
+					logMu.Unlock()
+					if _, err := f.InsertBatch(batch); err != nil {
+						errCh <- err
+						return
+					}
+				} else if err := f.Insert(k); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Rotate back-to-back until the writers finish: the final rotation's
+	// log snapshot is then guaranteed to race live inserts, so without the
+	// dual-write window the keys acknowledged after that snapshot would
+	// vanish with the swap.
+	writersDone := make(chan struct{})
+	go func() {
+		writerWG.Wait()
+		close(writersDone)
+	}()
+	done := make(chan struct{})
+	var rotations int
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-writersDone:
+				return
+			default:
+			}
+			err := f.Rotate(nil, func(insert func(Key) error) error {
+				for _, k := range snapshotLog() {
+					if err := insert(k); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			rotations++
+		}
+	}()
+	<-done
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if rotations == 0 {
+		t.Fatal("no rotation completed while writers ran")
+	}
+
+	acknowledged := snapshotLog()
+	sel := f.ContainsBatch(acknowledged, nil)
+	if len(sel) != len(acknowledged) {
+		// Identify a lost key for the failure message.
+		miss := 0
+		for _, k := range acknowledged {
+			if !f.Contains(k) {
+				miss++
+			}
+		}
+		t.Fatalf("%d of %d acknowledged keys lost across %d rotations (e.g. batch selected %d)",
+			miss, len(acknowledged), rotations, len(sel))
+	}
+}
+
+// TestAbortedRotationConsumesID pins the dual-write ordering invariant:
+// a rotation that aborts (fill error) must still consume a generation
+// id, so its discarded staging generation can never share an id with a
+// later successful generation. If ids were reused, a writer stalled
+// after dual-writing into the discarded staging generation would judge
+// the successor generation "already covered" (same id) and skip it —
+// losing an acknowledged write.
+func TestAbortedRotationConsumesID(t *testing.T) {
+	f, err := New(exactFactory, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if err := f.Rotate(nil, func(insert func(Key) error) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("aborted rotation: err = %v", err)
+	}
+	if f.Generation() != 0 {
+		t.Fatalf("generation = %d after aborted rotation, want 0", f.Generation())
+	}
+	if err := f.Rotate(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	g := f.gen.Load()
+	if g.seq != 1 {
+		t.Fatalf("seq = %d after aborted+successful rotation, want 1", g.seq)
+	}
+	if g.id != 2 {
+		t.Fatalf("id = %d after aborted+successful rotation, want 2 (aborted rotation must consume an id)", g.id)
+	}
+}
+
+// TestSnapshotRestore round-trips the sharded wrapper through the
+// Snapshot/Restore pair with a trivial per-shard codec.
+func TestSnapshotRestore(t *testing.T) {
+	f, err := New(exactFactory, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rotate(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.NewMT19937(5)
+	keys := make([]Key, 5000)
+	for i := range keys {
+		keys[i] = r.Uint32()
+		if err := f.Insert(keys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Codec: serialize an exact shard as its raw key list.
+	marshal := func(in Inner) ([]byte, error) {
+		var out []byte
+		for _, k := range keys {
+			if in.Contains(k) {
+				out = append(out,
+					byte(k), byte(k>>8), byte(k>>16), byte(k>>24))
+			}
+		}
+		return out, nil
+	}
+	unmarshal := func(data []byte) (Inner, error) {
+		s := exactInner{s: exact.New(len(data) / 4)}
+		for i := 0; i+4 <= len(data); i += 4 {
+			k := Key(data[i]) | Key(data[i+1])<<8 | Key(data[i+2])<<16 | Key(data[i+3])<<24
+			if err := s.Insert(k); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+	snap, err := f.Snapshot(marshal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Seq != 1 || len(snap.Payloads) != 4 {
+		t.Fatalf("snapshot seq=%d shards=%d", snap.Seq, len(snap.Payloads))
+	}
+	back, err := Restore(snap, unmarshal, exactFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumShards() != 4 || back.Generation() != 1 || back.Count() != f.Count() {
+		t.Fatalf("restored shards=%d gen=%d count=%d, want 4/1/%d",
+			back.NumShards(), back.Generation(), back.Count(), f.Count())
+	}
+	sel := back.ContainsBatch(keys, nil)
+	if len(sel) != len(keys) {
+		t.Fatalf("%d of %d keys present after restore", len(sel), len(keys))
+	}
+	// Restore with a broken snapshot shape must error, not panic.
+	if _, err := Restore(&Snapshot{Seq: 0, Counts: snap.Counts, Payloads: snap.Payloads[:3]}, unmarshal, exactFactory); err == nil {
+		t.Fatal("non-power-of-two shard count accepted")
+	}
+	if _, err := Restore(snap, unmarshal, nil); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+}
+
+func TestSplitBitsCeiling(t *testing.T) {
+	cases := []struct {
+		mBits    uint64
+		shards   int
+		perShard uint64
+		p        int
+	}{
+		{1 << 20, 8, 1 << 17, 8},
+		{1000, 3, 250, 4},  // exact division after rounding P
+		{1001, 4, 251, 4},  // remainder rounds up, not down
+		{7, 8, 1, 8},       // tiny totals still give every shard a bit
+		{1, 1024, 1, 1024}, // never truncates to zero for nonzero input
+		{0, 4, 0, 4},       // zero stays zero (callers reject it)
+	}
+	for _, tc := range cases {
+		perShard, p := SplitBits(tc.mBits, tc.shards)
+		if perShard != tc.perShard || p != tc.p {
+			t.Errorf("SplitBits(%d, %d) = (%d, %d), want (%d, %d)",
+				tc.mBits, tc.shards, perShard, p, tc.perShard, tc.p)
+		}
+		if tc.mBits > 0 && perShard*uint64(p) < tc.mBits {
+			t.Errorf("SplitBits(%d, %d) covers only %d bits", tc.mBits, tc.shards, perShard*uint64(p))
+		}
+	}
+}
+
 // fullAfter is an Inner that accepts only the first capacity inserts —
 // exercises InsertBatch's error path.
 type fullAfter struct {

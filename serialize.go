@@ -1,0 +1,276 @@
+package perfilter
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"perfilter/internal/blocked"
+	"perfilter/internal/bloom"
+	"perfilter/internal/counting"
+	"perfilter/internal/cuckoo"
+	"perfilter/internal/exact"
+	"perfilter/internal/scalable"
+	"perfilter/internal/sharded"
+)
+
+// Serialization turns any filter this package builds into a portable byte
+// string and back — what a distributed semi-join broadcast ships to the
+// probe nodes, and what the filter server persists across restarts. Every
+// format is little-endian and self-describing: the first four bytes are a
+// per-kind wire magic, so Unmarshal dispatches without external type
+// information, and a round-tripped filter answers ContainsBatch
+// byte-identically to the original.
+
+// ShardedWireMagic is the first little-endian uint32 of a serialized
+// sharded filter's envelope (per-kind payloads follow per shard).
+const ShardedWireMagic = 0x70664C50 // "pfLP"
+
+const (
+	shardedWireVersion = 1
+	// envelope header: magic u32, version u8, kind u8, magic-flag u8,
+	// reserved u8, seven u32 geometry fields, perShardBits u64, seq u64,
+	// shard count u32.
+	envHeaderLen = 8 + 7*4 + 8 + 8 + 4
+	// per-shard record header: insert count u64, payload length u32.
+	envShardLen = 8 + 4
+)
+
+// marshaler is the shape every serializable concrete filter exposes.
+type marshaler interface {
+	MarshalBinary() ([]byte, error)
+}
+
+// Marshal serializes a filter built by this package for network transfer
+// or persistence (e.g. the semi-join broadcast, or the filter server's
+// snapshots). Every kind serializes: blocked/register-blocked/sectorized
+// Bloom (any blocked geometry), classic Bloom, counting Bloom, scalable
+// Bloom, cuckoo (victim slot included), the exact set, and the Sharded
+// concurrent wrapper (as an envelope of per-shard payloads).
+func Marshal(f Filter) ([]byte, error) {
+	switch v := f.(type) {
+	case *blockedAdapter:
+		m, ok := v.f.(marshaler)
+		if !ok {
+			return nil, fmt.Errorf("perfilter: filter does not serialize")
+		}
+		return m.MarshalBinary()
+	case *classicAdapter:
+		return v.f.MarshalBinary()
+	case *CuckooFilter:
+		return v.f.MarshalBinary()
+	case *exactAdapter:
+		return v.s.MarshalBinary()
+	case *CountingBloomFilter:
+		return v.f.MarshalBinary()
+	case *ScalableBloomFilter:
+		return v.f.MarshalBinary()
+	case *Sharded:
+		return v.marshalEnvelope()
+	default:
+		return nil, fmt.Errorf("perfilter: %T does not serialize", f)
+	}
+}
+
+// Unmarshal reverses Marshal, reconstructing the filter with its type and
+// parameters. The decoder is picked by the leading wire magic; decode
+// failures surface the kind-specific error rather than a generic one. A
+// sharded envelope yields a *Sharded (assert to ConcurrentFilter for the
+// concurrent API).
+func Unmarshal(data []byte) (Filter, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("perfilter: filter encoding truncated (%d bytes)", len(data))
+	}
+	switch binary.LittleEndian.Uint32(data) {
+	case blocked.WireMagic:
+		f, err := blocked.Unmarshal(data)
+		if err != nil {
+			return nil, err
+		}
+		return &blockedAdapter{f}, nil
+	case bloom.WireMagic:
+		f, err := bloom.Unmarshal(data)
+		if err != nil {
+			return nil, err
+		}
+		return &classicAdapter{f}, nil
+	case cuckoo.WireMagic:
+		f, err := cuckoo.Unmarshal(data)
+		if err != nil {
+			return nil, err
+		}
+		return &CuckooFilter{f}, nil
+	case exact.WireMagic:
+		s, err := exact.Unmarshal(data)
+		if err != nil {
+			return nil, err
+		}
+		return &exactAdapter{s}, nil
+	case counting.WireMagic:
+		f, err := counting.Unmarshal(data)
+		if err != nil {
+			return nil, err
+		}
+		return &CountingBloomFilter{f}, nil
+	case scalable.WireMagic:
+		f, err := scalable.Unmarshal(data)
+		if err != nil {
+			return nil, err
+		}
+		return &ScalableBloomFilter{f}, nil
+	case ShardedWireMagic:
+		return UnmarshalSharded(data)
+	default:
+		return nil, fmt.Errorf("perfilter: unrecognized filter encoding (magic %#08x)",
+			binary.LittleEndian.Uint32(data))
+	}
+}
+
+// marshalEnvelope serializes the sharded wrapper: a header carrying the
+// per-shard configuration (so rotation works after restore) followed by
+// each shard's own wire payload. The wrapper lock pins perShard to the
+// generation being snapshotted; the snapshot itself is taken under the
+// rotation lock, each shard under its read lock.
+func (s *Sharded) marshalEnvelope() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap, err := s.s.Snapshot(func(inner sharded.Inner) ([]byte, error) {
+		f, ok := inner.(Filter)
+		if !ok {
+			return nil, fmt.Errorf("perfilter: shard type %T does not serialize", inner)
+		}
+		return Marshal(f)
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := envHeaderLen
+	for _, p := range snap.Payloads {
+		total += envShardLen + len(p)
+	}
+	out := make([]byte, envHeaderLen, total)
+	le := binary.LittleEndian
+	le.PutUint32(out[0:], ShardedWireMagic)
+	out[4] = shardedWireVersion
+	out[5] = uint8(s.cfg.Kind)
+	if s.cfg.Magic {
+		out[6] = 1
+	}
+	le.PutUint32(out[8:], s.cfg.WordBits)
+	le.PutUint32(out[12:], s.cfg.BlockBits)
+	le.PutUint32(out[16:], s.cfg.SectorBits)
+	le.PutUint32(out[20:], s.cfg.Groups)
+	le.PutUint32(out[24:], s.cfg.K)
+	le.PutUint32(out[28:], s.cfg.TagBits)
+	le.PutUint32(out[32:], s.cfg.BucketSize)
+	le.PutUint64(out[36:], s.perShard)
+	le.PutUint64(out[44:], snap.Seq)
+	le.PutUint32(out[52:], uint32(len(snap.Payloads)))
+	for i, p := range snap.Payloads {
+		if uint64(len(p)) > math.MaxUint32 {
+			return nil, fmt.Errorf("perfilter: shard %d payload (%d bytes) exceeds the envelope's 4 GiB record limit", i, len(p))
+		}
+		var hdr [envShardLen]byte
+		le.PutUint64(hdr[0:], snap.Counts[i])
+		le.PutUint32(hdr[8:], uint32(len(p)))
+		out = append(out, hdr[:]...)
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// UnmarshalSharded reconstructs a sharded concurrent filter from a
+// Marshal envelope, restoring the configuration, generation sequence and
+// per-shard contents (probe results are byte-identical to the original's).
+func UnmarshalSharded(data []byte) (*Sharded, error) {
+	if len(data) < envHeaderLen {
+		return nil, fmt.Errorf("perfilter: truncated sharded envelope")
+	}
+	le := binary.LittleEndian
+	if le.Uint32(data[0:]) != ShardedWireMagic {
+		return nil, fmt.Errorf("perfilter: bad sharded envelope magic")
+	}
+	if data[4] != shardedWireVersion {
+		return nil, fmt.Errorf("perfilter: unsupported sharded envelope version %d", data[4])
+	}
+	cfg := Config{
+		Kind:       Kind(data[5]),
+		Magic:      data[6] == 1,
+		WordBits:   le.Uint32(data[8:]),
+		BlockBits:  le.Uint32(data[12:]),
+		SectorBits: le.Uint32(data[16:]),
+		Groups:     le.Uint32(data[20:]),
+		K:          le.Uint32(data[24:]),
+		TagBits:    le.Uint32(data[28:]),
+		BucketSize: le.Uint32(data[32:]),
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("perfilter: sharded envelope config: %w", err)
+	}
+	perShard := le.Uint64(data[36:])
+	if perShard == 0 {
+		return nil, fmt.Errorf("perfilter: sharded envelope with zero per-shard bits")
+	}
+	seq := le.Uint64(data[44:])
+	p := le.Uint32(data[52:])
+	if p == 0 || p > sharded.MaxShards {
+		return nil, fmt.Errorf("perfilter: sharded envelope shard count %d out of range", p)
+	}
+	snap := &sharded.Snapshot{
+		Seq:      seq,
+		Counts:   make([]uint64, p),
+		Payloads: make([][]byte, p),
+	}
+	off := envHeaderLen
+	for i := uint32(0); i < p; i++ {
+		if len(data) < off+envShardLen {
+			return nil, fmt.Errorf("perfilter: truncated shard %d record", i)
+		}
+		snap.Counts[i] = le.Uint64(data[off:])
+		plen32 := le.Uint32(data[off+8:])
+		off += envShardLen
+		// Compare in uint64 so a crafted length cannot wrap int on 32-bit
+		// platforms and slip past the bounds check into a slice panic;
+		// after the check, plen fits an int on any platform.
+		if uint64(len(data)-off) < uint64(plen32) {
+			return nil, fmt.Errorf("perfilter: truncated shard %d payload", i)
+		}
+		plen := int(plen32)
+		snap.Payloads[i] = data[off : off+plen]
+		off += plen
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("perfilter: %d trailing bytes after sharded envelope", len(data)-off)
+	}
+	sh := &Sharded{cfg: cfg}
+	sh.perShard = perShard
+	s, err := sharded.Restore(snap, func(payload []byte) (sharded.Inner, error) {
+		f, err := Unmarshal(payload)
+		if err != nil {
+			return nil, err
+		}
+		// The payload's own magic picked the decoder; it must agree with
+		// the envelope's declared kind (a mismatch means a stitched or
+		// corrupted envelope).
+		var match bool
+		switch f.(type) {
+		case *blockedAdapter:
+			match = cfg.Kind == BlockedBloom
+		case *classicAdapter:
+			match = cfg.Kind == ClassicBloom
+		case *CuckooFilter:
+			match = cfg.Kind == Cuckoo
+		case *exactAdapter:
+			match = cfg.Kind == Exact
+		}
+		if !match {
+			return nil, fmt.Errorf("perfilter: shard payload type %T does not match envelope kind %s", f, cfg.Kind)
+		}
+		return f, nil
+	}, sh.factory(perShard))
+	if err != nil {
+		return nil, err
+	}
+	sh.s = s
+	return sh, nil
+}
