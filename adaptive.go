@@ -1,0 +1,619 @@
+package perfilter
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"perfilter/internal/adaptive"
+)
+
+// AdaptiveOptions configures NewAdaptive.
+type AdaptiveOptions struct {
+	// Workload seeds the advisory inputs that cannot be observed: the work
+	// saved per pruned probe Tw, the memory budget and the platform. N is
+	// tracked live and ignored here; Sigma is only the fallback until the
+	// first probes are observed.
+	Workload Workload
+	// Policy is the migration hysteresis rule (zero fields get defaults:
+	// 15% margin, 1024 min inserts).
+	Policy adaptive.Policy
+	// Interval, when positive, starts a background tuner that calls
+	// Reoptimize on this period. Zero means the caller drives the loop
+	// (Reoptimize / the server's autotuner).
+	Interval time.Duration
+	// Shards is the sharded wrapper's partition count (<= 0 picks the host
+	// default, as NewSharded does).
+	Shards int
+	// MaxDecisions bounds the retained decision history (default 64).
+	MaxDecisions int
+	// DisableKeyLog turns off the insert log. The filter then still tracks
+	// the workload and serves advice, but cannot migrate: approximate
+	// filters cannot enumerate their keys, so without the log there is no
+	// lossless replay source.
+	DisableKeyLog bool
+	// DisableAutoGrow turns off the ErrFull emergency migration, so cuckoo
+	// saturation surfaces to the caller instead of growing the filter in
+	// place. The filter server sets this: its memory budget accounting owns
+	// every size change, so growth must go through its migrate/autotune
+	// paths rather than happen implicitly inside an insert handler.
+	DisableAutoGrow bool
+}
+
+func (o AdaptiveOptions) withDefaults() AdaptiveOptions {
+	o.Policy = o.Policy.WithDefaults()
+	if o.MaxDecisions == 0 {
+		o.MaxDecisions = 64
+	}
+	return o
+}
+
+// Adaptive is a self-re-optimizing concurrent filter: a Sharded filter
+// plus the control loop the paper's static Advise lacks. Every insert and
+// probe feeds cheap atomic workload counters (observed n, positive
+// fraction → σ); Reoptimize re-runs Advise against that observed workload
+// and, when the recommended configuration's modeled overhead ρ beats the
+// deployed one by the policy's hysteresis margin, migrates live — any
+// size change and any kind change, Bloom→Cuckoo or Cuckoo→Bloom — by
+// replaying the maintained key log into a staged generation under the
+// sharded dual-write window, so no acknowledged write is lost and readers
+// never block.
+//
+// All methods are safe for concurrent use.
+type Adaptive struct {
+	s     *Sharded
+	opts  AdaptiveOptions
+	stats adaptive.Stats
+	tuner adaptive.Tuner
+
+	// log is the current key-log epoch (nil pointer when DisableKeyLog).
+	// Clearing operations (Rotate, Reset) swap in a fresh log rather than
+	// truncating in place, and writers re-check the pointer after their
+	// insert — the log-side mirror of the sharded dual-write window, so a
+	// write racing a clear can never be in the filter but missing from the
+	// log (the log stays a conservative superset; see internal/adaptive).
+	log atomic.Pointer[adaptive.KeyLog]
+
+	// logComplete reports that the key log covers every key the filter
+	// holds. It is false for filters restored from a snapshot that carried
+	// no log; migration is refused until the next Reset clears both.
+	logComplete atomic.Bool
+
+	// mu serializes re-optimization, migration, rotation and reset, and
+	// guards the decision history.
+	mu            sync.Mutex
+	decisions     []adaptive.Decision
+	lastMigration time.Time
+}
+
+// NewAdaptive builds an adaptive filter starting from the given
+// configuration and size (the same parameters New takes, sharded per
+// opts.Shards). If opts.Interval is positive the background tuner starts
+// immediately; call Close to stop it.
+func NewAdaptive(cfg Config, mBits uint64, opts AdaptiveOptions) (*Adaptive, error) {
+	s, err := NewSharded(cfg, mBits, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	return newAdaptive(s, opts, true), nil
+}
+
+// NewAdaptiveAdvised runs Advise on opts.Workload (N must be set to the
+// expected initial size) and starts from the recommended configuration.
+func NewAdaptiveAdvised(opts AdaptiveOptions) (*Adaptive, Advice, error) {
+	advice, err := Advise(opts.Workload)
+	if err != nil {
+		return nil, Advice{}, err
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = advice.Shards
+	}
+	s, err := NewSharded(advice.Config, advice.MBits, shards)
+	if err != nil {
+		return nil, Advice{}, err
+	}
+	return newAdaptive(s, opts, true), advice, nil
+}
+
+func newAdaptive(s *Sharded, opts AdaptiveOptions, logComplete bool) *Adaptive {
+	opts = opts.withDefaults()
+	a := &Adaptive{s: s, opts: opts}
+	if !opts.DisableKeyLog {
+		a.log.Store(new(adaptive.KeyLog))
+		a.logComplete.Store(logComplete)
+	}
+	if opts.Interval > 0 {
+		a.StartTuner(opts.Interval)
+	}
+	return a
+}
+
+// NewAdaptiveFrom wraps an existing sharded filter (e.g. one restored by
+// UnmarshalSharded from a pre-adaptive snapshot). Because the filter may
+// already hold keys that no log recorded, the key log starts complete only
+// when the filter is empty; otherwise the wrapper tracks and advises but
+// refuses to migrate until Reset.
+func NewAdaptiveFrom(s *Sharded, opts AdaptiveOptions) *Adaptive {
+	return newAdaptive(s, opts, s.Count() == 0)
+}
+
+// StartTuner launches the background re-optimization loop on the given
+// interval (idempotent while running). Decisions, including ones that
+// conclude "keep the current filter", are recorded in Decisions.
+func (a *Adaptive) StartTuner(interval time.Duration) {
+	a.tuner.Start(interval, func() { a.Reoptimize() })
+}
+
+// Close stops the background tuner, if any. The filter stays usable.
+func (a *Adaptive) Close() { a.tuner.Stop() }
+
+// TunerRunning reports whether the background loop is active.
+func (a *Adaptive) TunerRunning() bool { return a.tuner.Running() }
+
+// Insert implements Filter; safe for concurrent use. The key is logged
+// before it is inserted, so an insert racing a migration's log snapshot is
+// covered either by the snapshot or by the rotation's dual-write window —
+// never dropped — and the log pointer is re-checked afterwards so a
+// concurrent clearing Rotate/Reset cannot leave the key in the filter but
+// out of the log. Unless AutoGrow is disabled, a cuckoo ErrFull triggers
+// an emergency re-optimization (grow to the advised size for the observed
+// n) before the error is surfaced.
+func (a *Adaptive) Insert(key Key) error {
+	log := a.log.Load()
+	if log != nil {
+		log.Append(key)
+	}
+	err := a.s.Insert(key)
+	if log != nil {
+		if cur := a.log.Load(); cur != log {
+			cur.Append(key)
+			log = cur
+		}
+	}
+	for attempt := 0; errors.Is(err, ErrFull) && attempt < maxFullRecoveries && a.autoGrows(); attempt++ {
+		self, rerr := a.recoverFull(a.s.SizeBits(), 1)
+		if rerr != nil {
+			break
+		}
+		if self {
+			// This call performed the migration: the key was appended to
+			// the log before the failed insert, so the fill snapshot
+			// replayed it into the grown generation — nothing to re-insert
+			// (a re-insert would double the key's cuckoo occupancy).
+			err = nil
+			break
+		}
+		// A concurrent recovery grew the filter; retry there, re-checking
+		// the log epoch again so the retried insert can never be in the
+		// filter but missing from the current log.
+		err = a.s.Insert(key)
+		if log != nil {
+			if cur := a.log.Load(); cur != log {
+				cur.Append(key)
+				log = cur
+			}
+		}
+	}
+	if err != nil {
+		return err
+	}
+	a.stats.RecordInsert(1)
+	return nil
+}
+
+// maxFullRecoveries bounds the emergency-grow retries of one insert call:
+// each recovery at least doubles the filter, so a handful always suffices
+// unless growth itself is failing.
+const maxFullRecoveries = 4
+
+// InsertConcurrent implements ConcurrentFilter; identical to Insert.
+func (a *Adaptive) InsertConcurrent(key Key) error { return a.Insert(key) }
+
+// InsertBatch adds a batch of keys (see Sharded.InsertBatch for the
+// shard-grouped locking and the non-prefix ErrFull contract). On cuckoo
+// saturation it grows once via an emergency re-optimization and replays
+// the whole batch, which is idempotent for the logged/deduplicated replay
+// path.
+func (a *Adaptive) InsertBatch(keys []Key) (int, error) {
+	log := a.log.Load()
+	if log != nil {
+		log.AppendBatch(keys)
+	}
+	inserted, err := a.s.InsertBatch(keys)
+	if log != nil {
+		if cur := a.log.Load(); cur != log {
+			cur.AppendBatch(keys)
+			log = cur
+		}
+	}
+	for attempt := 0; errors.Is(err, ErrFull) && attempt < maxFullRecoveries && a.autoGrows(); attempt++ {
+		self, rerr := a.recoverFull(a.s.SizeBits(), uint64(len(keys)))
+		if rerr != nil {
+			break
+		}
+		if self {
+			// The migration's fill snapshot replayed the whole batch (it
+			// was logged before the failed attempt), deduplicated — every
+			// key is present exactly once, with no partial-insert copies
+			// carried over from the retiring generation.
+			inserted, err = len(keys), nil
+			break
+		}
+		// A concurrent recovery grew the filter; replay the batch there
+		// (shard order, so not an input-order prefix on a further error),
+		// re-checking the log epoch afterwards.
+		inserted, err = a.s.InsertBatch(keys)
+		if log != nil {
+			if cur := a.log.Load(); cur != log {
+				cur.AppendBatch(keys)
+				log = cur
+			}
+		}
+	}
+	if err == nil {
+		a.stats.RecordInsert(uint64(inserted))
+	}
+	return inserted, err
+}
+
+// Contains implements Filter, recording the probe.
+func (a *Adaptive) Contains(key Key) bool {
+	ok := a.s.Contains(key)
+	var pos uint64
+	if ok {
+		pos = 1
+	}
+	a.stats.RecordProbe(1, pos)
+	return ok
+}
+
+// ContainsBatch implements Filter, recording the batch.
+func (a *Adaptive) ContainsBatch(keys []Key, sel []uint32) []uint32 {
+	before := len(sel)
+	sel = a.s.ContainsBatch(keys, sel)
+	a.stats.RecordProbe(uint64(len(keys)), uint64(len(sel)-before))
+	return sel
+}
+
+// SizeBits implements Filter (the live filter only; the key log's 32 bits
+// per logged key are reported separately by LogBits).
+func (a *Adaptive) SizeBits() uint64 { return a.s.SizeBits() }
+
+// LogBits returns the key log's current footprint in bits.
+func (a *Adaptive) LogBits() uint64 {
+	log := a.log.Load()
+	if log == nil {
+		return 0
+	}
+	return log.Len() * 32
+}
+
+// FPR implements Filter.
+func (a *Adaptive) FPR(n uint64) float64 { return a.s.FPR(n) }
+
+// Reset implements Filter: clears the filter, the key log and the tracked
+// counters, and (re-)establishes the log as complete. The log is swapped,
+// not truncated, so writers racing the clear keep the superset invariant
+// via their post-insert pointer re-check.
+func (a *Adaptive) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.log.Load() != nil {
+		a.log.Store(new(adaptive.KeyLog))
+	}
+	a.s.Reset()
+	a.stats.Reset()
+	if a.log.Load() != nil {
+		a.logComplete.Store(true)
+	}
+}
+
+// String implements Filter.
+func (a *Adaptive) String() string { return "adaptive " + a.s.String() }
+
+// NumShards implements ConcurrentFilter.
+func (a *Adaptive) NumShards() int { return a.s.NumShards() }
+
+// Count returns the number of successful inserts into the current
+// generation (after a migration: the deduplicated key count plus racing
+// dual-writes — the live n estimate the control loop advises against).
+func (a *Adaptive) Count() uint64 { return a.s.Count() }
+
+// Generation returns the rotation sequence number.
+func (a *Adaptive) Generation() uint64 { return a.s.Generation() }
+
+// Stats implements ConcurrentFilter (shard occupancy; the workload
+// counters are returned by Counters).
+func (a *Adaptive) Stats() ShardStats { return a.s.Stats() }
+
+// Counters returns a snapshot of the tracked workload.
+func (a *Adaptive) Counters() adaptive.Counters { return a.stats.Snapshot() }
+
+// Config returns the currently served configuration (migrations change it).
+func (a *Adaptive) Config() Config { return a.s.Config() }
+
+// Sharded exposes the underlying sharded filter (shared with the
+// serialization envelope; mutating rotations should go through the
+// Adaptive methods so the key log stays consistent).
+func (a *Adaptive) Sharded() *Sharded { return a.s }
+
+// Rotate implements ConcurrentFilter with the standard clearing contract:
+// the filter's contents are replaced by a fresh generation of mBits total
+// bits (0 keeps the size), populated by fill if non-nil. The key log
+// rotates in lockstep: a fresh log epoch is published before the sharded
+// rotation opens its dual-write window, writers re-check the log pointer
+// after every insert, and fill's inserts are logged into the new epoch —
+// so after the swap the new log covers exactly (a superset of) the new
+// generation, the tracked counters restart, and later migrations cannot
+// resurrect cleared keys. To resize *without* clearing, use Migrate with
+// the current configuration.
+func (a *Adaptive) Rotate(mBits uint64, fill func(insert func(Key) error) error) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	old := a.log.Load()
+	if old == nil {
+		if err := a.s.Rotate(mBits, fill); err != nil {
+			return err
+		}
+		a.stats.Reset()
+		return nil
+	}
+	fresh := new(adaptive.KeyLog)
+	// Publish the new epoch before the rotation starts: a writer whose
+	// insert lands in the staged generation observed the staging pointer,
+	// which was published after this store, so its post-insert re-check
+	// sees the new log and records the key there.
+	a.log.Store(fresh)
+	wrapped := fill
+	if fill != nil {
+		wrapped = func(insert func(Key) error) error {
+			return fill(func(k Key) error {
+				fresh.Append(k)
+				return insert(k)
+			})
+		}
+	}
+	if err := a.s.Rotate(mBits, wrapped); err != nil {
+		// The rotation aborted: the retiring generation still serves, so
+		// restore its log and fold in the keys writers logged into the
+		// aborted epoch (their inserts landed in the retiring generation).
+		// Writers still holding the aborted epoch re-check after their
+		// insert and re-append to the restored log, so the merge and the
+		// re-checks together keep the superset invariant.
+		a.log.Store(old)
+		fresh.Snapshot().Replay(func(k Key) error { old.Append(k); return nil }, false)
+		return err
+	}
+	a.stats.Reset()
+	a.logComplete.Store(true)
+	return nil
+}
+
+// canMigrate reports whether a lossless rebuild source exists.
+func (a *Adaptive) canMigrate() bool { return a.log.Load() != nil && a.logComplete.Load() }
+
+// autoGrows reports whether the ErrFull emergency path is armed.
+func (a *Adaptive) autoGrows() bool { return !a.opts.DisableAutoGrow && a.canMigrate() }
+
+// workload returns the observed workload: the configured Tw/budget with
+// the tracked n and σ substituted in.
+func (a *Adaptive) workload() Workload {
+	w := a.opts.Workload
+	c := a.stats.Snapshot()
+	w.N = a.s.Count()
+	if w.N == 0 {
+		w.N = 1
+	}
+	w.Sigma = c.Sigma(w.Sigma)
+	return w
+}
+
+// AdaptiveAdvice is the advice endpoint's full answer: what was observed,
+// what is deployed, what the model now recommends, and what the policy
+// would do about it.
+type AdaptiveAdvice struct {
+	// Counters is the tracked workload at evaluation time.
+	Counters adaptive.Counters
+	// Workload is the advisory input derived from it.
+	Workload Workload
+	// Current models the deployed configuration at its actual size.
+	Current Advice
+	// Best is the static Advise answer for the observed workload.
+	Best Advice
+	// KindChange reports that Best switches the filter family.
+	KindChange bool
+	// WouldMigrate is the hysteresis policy's verdict; Reason explains it.
+	WouldMigrate bool
+	Reason       string
+}
+
+// Advice re-runs the advisor against the observed workload without acting
+// on the answer. For a stationary workload whose Tw and σ match the
+// configured ones, Best reproduces the static Advise answer exactly.
+func (a *Adaptive) Advice() (AdaptiveAdvice, error) { return a.AdviceTw(0) }
+
+// AdviceTw is Advice with the work-saved term overridden (tw <= 0 keeps
+// the configured value) — the exploration knob behind the server's
+// ?tw= query parameter: "what would the optimum be if a pruned probe
+// saved this much?".
+func (a *Adaptive) AdviceTw(tw float64) (AdaptiveAdvice, error) {
+	a.mu.Lock()
+	lastMigration := a.lastMigration
+	a.mu.Unlock()
+	return a.adviceAt(lastMigration, tw)
+}
+
+func (a *Adaptive) adviceAt(lastMigration time.Time, tw float64) (AdaptiveAdvice, error) {
+	w := a.workload()
+	if tw > 0 {
+		w.Tw = tw
+	}
+	cur, err := EvaluateOverhead(w, a.s.Config(), a.s.SizeBits())
+	if err != nil {
+		return AdaptiveAdvice{}, err
+	}
+	best, err := Advise(w)
+	if err != nil {
+		return AdaptiveAdvice{}, err
+	}
+	adv := AdaptiveAdvice{
+		Counters:   a.stats.Snapshot(),
+		Workload:   w,
+		Current:    cur,
+		Best:       best,
+		KindChange: best.Config.Kind != cur.Config.Kind,
+	}
+	sinceLast := time.Duration(-1)
+	if !lastMigration.IsZero() {
+		sinceLast = time.Since(lastMigration)
+	}
+	ok, reason := a.opts.Policy.ShouldMigrate(cur.Overhead, best.Overhead, adv.Counters.Inserts, sinceLast)
+	if ok && best.Config == cur.Config && best.MBits == cur.MBits {
+		ok, reason = false, "already at the recommended configuration"
+	}
+	if ok && !a.canMigrate() {
+		ok, reason = false, "key log unavailable (disabled or incomplete after restore)"
+	}
+	adv.WouldMigrate, adv.Reason = ok, reason
+	return adv, nil
+}
+
+// Reoptimize runs one control-loop pass: re-advise against the observed
+// workload and migrate if the policy's hysteresis margin is cleared. The
+// returned decision is also appended to the history. It is what the
+// background tuner calls on its interval.
+func (a *Adaptive) Reoptimize() (adaptive.Decision, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	adv, err := a.adviceAt(a.lastMigration, 0)
+	if err != nil {
+		return adaptive.Decision{}, err
+	}
+	d := decisionFrom(adv)
+	if adv.WouldMigrate {
+		if err := a.migrateLocked(adv.Best.Config, adv.Best.MBits); err != nil {
+			d.Reason = "migration failed: " + err.Error()
+			a.record(d)
+			return d, err
+		}
+		d.Migrated = true
+		a.lastMigration = d.At
+	}
+	a.record(d)
+	return d, nil
+}
+
+// Migrate forces a live migration to an explicit configuration and size,
+// bypassing the hysteresis policy (the server's migrate endpoint). mBits 0
+// keeps the current size. The same losslessness guarantees apply.
+func (a *Adaptive) Migrate(cfg Config, mBits uint64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	prev := a.s.Config()
+	if err := a.migrateLocked(cfg, mBits); err != nil {
+		return err
+	}
+	now := time.Now().UTC()
+	a.lastMigration = now
+	a.record(adaptive.Decision{
+		At: now, N: a.s.Count(), Current: prev.String(), Best: cfg.String(),
+		BestMBits: mBits, KindChanged: cfg.Kind != prev.Kind, Migrated: true,
+		Reason: "explicit migration",
+	})
+	return nil
+}
+
+// migrateLocked rebuilds the filter as cfg/mBits from a key-log snapshot
+// under the sharded dual-write window. The snapshot is taken *inside* the
+// fill callback — i.e. after Rotate has published the staging generation —
+// so the two windows overlap: a write that completes too early for the
+// dual-write re-checks to see the rotation has, by then, already appended
+// to the log and is in the snapshot, and a write the snapshot misses
+// observes the staging pointer and dual-writes itself. (Snapshotting
+// before the publication would leave a gap where a whole append+insert
+// could fall between the two.) The replay is deduplicated so a
+// multiply-inserted key cannot saturate a cuckoo bucket.
+func (a *Adaptive) migrateLocked(cfg Config, mBits uint64) error {
+	if !a.canMigrate() {
+		return fmt.Errorf("perfilter: adaptive filter cannot migrate without a complete key log")
+	}
+	log := a.log.Load()
+	return a.s.Migrate(cfg, mBits, func(insert func(Key) error) error {
+		return log.Snapshot().Replay(insert, true)
+	})
+}
+
+// recoverFull is the ErrFull emergency path: grow to the advised size for
+// twice the observed n plus the incoming keys (falling back to doubling
+// the current size when the advisor has nothing better). It reports
+// whether this call performed the migration itself: if another writer's
+// recovery already grew the filter past what the failing insert saw, the
+// caller must retry its insert — the concurrent migration's log snapshot
+// may predate the caller's log append, so only its own migration is
+// guaranteed to have replayed the caller's keys.
+func (a *Adaptive) recoverFull(sawBits, incoming uint64) (bool, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.s.SizeBits() > sawBits {
+		return false, nil // a concurrent recovery already grew the filter
+	}
+	w := a.workload()
+	w.N = 2 * (w.N + incoming)
+	prev := a.s.Config()
+	cfg, mBits := prev, 2*sawBits
+	if adv, err := Advise(w); err == nil && adv.MBits > sawBits {
+		cfg, mBits = adv.Config, adv.MBits
+	}
+	if err := a.migrateLocked(cfg, mBits); err != nil {
+		return false, err
+	}
+	now := time.Now().UTC()
+	a.lastMigration = now
+	a.record(adaptive.Decision{
+		At: now, N: w.N / 2, Current: prev.String(), Best: cfg.String(),
+		BestMBits: mBits, KindChanged: cfg.Kind != prev.Kind, Migrated: true,
+		Reason: "emergency grow after ErrFull",
+	})
+	return true, nil
+}
+
+func decisionFrom(adv AdaptiveAdvice) adaptive.Decision {
+	return adaptive.Decision{
+		At:          time.Now().UTC(),
+		N:           adv.Workload.N,
+		Sigma:       adv.Workload.Sigma,
+		Current:     adv.Current.Config.String(),
+		CurrentRho:  adv.Current.Overhead,
+		Best:        adv.Best.Config.String(),
+		BestMBits:   adv.Best.MBits,
+		BestRho:     adv.Best.Overhead,
+		KindChanged: adv.KindChange,
+		Reason:      adv.Reason,
+	}
+}
+
+// record appends to the bounded decision history; a.mu is held.
+func (a *Adaptive) record(d adaptive.Decision) {
+	a.decisions = append(a.decisions, d)
+	if over := len(a.decisions) - a.opts.MaxDecisions; over > 0 {
+		a.decisions = append(a.decisions[:0], a.decisions[over:]...)
+	}
+}
+
+// Decisions returns a copy of the retained decision history, oldest first.
+func (a *Adaptive) Decisions() []adaptive.Decision {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]adaptive.Decision, len(a.decisions))
+	copy(out, a.decisions)
+	return out
+}
+
+// compile-time interface checks
+var (
+	_ Filter           = (*Adaptive)(nil)
+	_ ConcurrentFilter = (*Adaptive)(nil)
+)

@@ -1,0 +1,506 @@
+package perfilter
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var (
+	adaptiveBloomCfg = Config{Kind: BlockedBloom, WordBits: 64, BlockBits: 512,
+		SectorBits: 64, Groups: 2, K: 8, Magic: true}
+	adaptiveCuckooCfg = Config{Kind: Cuckoo, TagBits: 16, BucketSize: 2, Magic: true}
+)
+
+// selBytes renders a selection vector for byte-level comparison.
+func selBytes(sel []uint32) []byte {
+	out := make([]byte, 4*len(sel))
+	for i, v := range sel {
+		binary.LittleEndian.PutUint32(out[4*i:], v)
+	}
+	return out
+}
+
+// TestAdaptiveTrackedAdviceMatchesStatic pins the control loop to the
+// paper's static advisor: for a stationary workload (fixed n, tw, σ), the
+// advice computed from the *tracked* counters must reproduce the static
+// Advise answer for the same planned workload exactly.
+func TestAdaptiveTrackedAdviceMatchesStatic(t *testing.T) {
+	const n = 50_000
+	const tw = 400.0
+	const sigma = 0.1
+	a, err := NewAdaptive(adaptiveBloomCfg, 16*n, AdaptiveOptions{
+		Workload: Workload{Tw: tw, Sigma: sigma},
+		Shards:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = Key(i)
+	}
+	if _, err := a.InsertBatch(keys); err != nil {
+		t.Fatal(err)
+	}
+	// Stationary probe stream at true-hit rate σ: 10% members, 90% misses.
+	probe := make([]Key, 0, 1000)
+	for b := 0; b < 50; b++ {
+		probe = probe[:0]
+		for i := 0; i < 1000; i++ {
+			if i%10 == 0 {
+				probe = append(probe, Key((b*100+i)%n))
+			} else {
+				probe = append(probe, Key(n+b*1000+i))
+			}
+		}
+		a.ContainsBatch(probe, nil)
+	}
+	adv, err := a.Advice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := a.Counters()
+	if c.Inserts != n || c.Probes != 50_000 {
+		t.Fatalf("counters = %+v", c)
+	}
+	// Tracked σ = observed positive fraction: the true 10% plus at most
+	// the filter's false-positive rate.
+	trackedSigma := adv.Workload.Sigma
+	if trackedSigma < sigma || trackedSigma > sigma+0.05 {
+		t.Fatalf("tracked sigma = %v, want ≈ %v", trackedSigma, sigma)
+	}
+	static, err := Advise(Workload{N: n, Tw: tw, Sigma: sigma})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Best.Config != static.Config {
+		t.Fatalf("tracked advice %+v != static advice %+v", adv.Best.Config, static.Config)
+	}
+	if adv.Best.MBits != static.MBits {
+		t.Fatalf("tracked MBits %d != static MBits %d", adv.Best.MBits, static.MBits)
+	}
+	if adv.Workload.N != n {
+		t.Fatalf("tracked n = %d, want %d", adv.Workload.N, n)
+	}
+}
+
+// TestAdaptiveMigrationLosslessUnderWriters is the migration-equivalence
+// property test: concurrent writers hammer inserts while the filter
+// migrates Bloom→Cuckoo and back Cuckoo→Bloom mid-stream. Afterwards no
+// acknowledged key may be missing (zero false negatives), the member
+// selection vector must be byte-stable across migrations, batch and
+// scalar probes must agree, and the final Bloom generation must be
+// byte-equivalent to a reference filter built offline from the same keys.
+// Run with -race.
+func TestAdaptiveMigrationLosslessUnderWriters(t *testing.T) {
+	const writers = 4
+	perWriter := 30_000
+	if testing.Short() {
+		perWriter = 8_000
+	}
+	total := writers * perWriter
+	const shards = 4
+	mBloom := uint64(16 * total)
+	mCuckoo := 2 * CuckooSizeForKeys(16, 2, uint64(total))
+
+	a, err := NewAdaptive(adaptiveBloomCfg, mBloom, AdaptiveOptions{
+		Workload: Workload{Tw: 10_000},
+		Shards:   shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var progress [writers]atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			batch := make([]Key, 0, 32)
+			for i := 0; i < perWriter; i++ {
+				k := Key(i*writers + w)
+				if i%5 == 4 {
+					batch = append(batch[:0], k)
+					if _, err := a.InsertBatch(batch); err != nil {
+						errCh <- err
+						return
+					}
+				} else if err := a.Insert(k); err != nil {
+					errCh <- err
+					return
+				}
+				progress[w].Store(int64(i + 1))
+			}
+		}(w)
+	}
+
+	// A fixed probe batch of keys that are certainly inserted before the
+	// first migration: its selection vector must be all positions, before
+	// and after every migration, byte for byte. Key(i*writers+w) is
+	// acknowledged once writer w has passed iteration i, so the keys below
+	// writers*minIters are in once every writer reports that floor.
+	waitFor := func(minIters int) {
+		for {
+			done := true
+			for w := range progress {
+				if progress[w].Load() < int64(minIters) {
+					done = false
+				}
+			}
+			if done {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor(perWriter / 4)
+	fixed := make([]Key, writers*(perWriter/8))
+	for i := range fixed {
+		fixed[i] = Key(i)
+	}
+	selBefore := a.ContainsBatch(fixed, nil)
+	if len(selBefore) != len(fixed) {
+		t.Fatalf("pre-migration: %d of %d members selected", len(selBefore), len(fixed))
+	}
+
+	// Bloom→Cuckoo under live writers.
+	if err := a.Migrate(adaptiveCuckooCfg, mCuckoo); err != nil {
+		t.Fatalf("bloom→cuckoo: %v", err)
+	}
+	selMid := a.ContainsBatch(fixed, nil)
+	if !bytes.Equal(selBytes(selBefore), selBytes(selMid)) {
+		t.Fatal("member selection vector changed across bloom→cuckoo migration")
+	}
+
+	waitFor(perWriter / 2)
+	// Cuckoo→Bloom under live writers.
+	if err := a.Migrate(adaptiveBloomCfg, mBloom); err != nil {
+		t.Fatalf("cuckoo→bloom: %v", err)
+	}
+	selAfter := a.ContainsBatch(fixed, nil)
+	if !bytes.Equal(selBytes(selBefore), selBytes(selAfter)) {
+		t.Fatal("member selection vector changed across cuckoo→bloom migration")
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Zero false negatives: every acknowledged key is present.
+	all := make([]Key, total)
+	for i := range all {
+		all[i] = Key(i)
+	}
+	sel := a.ContainsBatch(all, nil)
+	if len(sel) != total {
+		t.Fatalf("%d of %d keys present after two migrations", len(sel), total)
+	}
+
+	// Batch/scalar parity on a mixed member/non-member stream.
+	rng := rand.New(rand.NewSource(42))
+	mixed := make([]Key, 4096)
+	for i := range mixed {
+		mixed[i] = Key(rng.Intn(4 * total))
+	}
+	batchSel := a.ContainsBatch(mixed, nil)
+	var scalarSel []uint32
+	for i, k := range mixed {
+		if a.Contains(k) {
+			scalarSel = append(scalarSel, uint32(i))
+		}
+	}
+	if !bytes.Equal(selBytes(batchSel), selBytes(scalarSel)) {
+		t.Fatal("ContainsBatch disagrees with scalar Contains after migration")
+	}
+
+	// Reference equivalence: the final Bloom generation must answer
+	// byte-identically to a filter of the same configuration built offline
+	// from the same key set (Bloom insertion is order-independent, so the
+	// nondeterministic replay/dual-write order cannot show through).
+	ref, err := NewSharded(adaptiveBloomCfg, mBloom, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.InsertBatch(all); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 8; trial++ {
+		for i := range mixed {
+			mixed[i] = Key(rng.Intn(8 * total))
+		}
+		got := a.ContainsBatch(mixed, nil)
+		want := ref.ContainsBatch(mixed, nil)
+		if !bytes.Equal(selBytes(got), selBytes(want)) {
+			t.Fatalf("trial %d: migrated filter differs from reference rebuild", trial)
+		}
+	}
+}
+
+// TestAdaptiveLiveCrossover drives the paper's headline dynamic: at a
+// cache-miss-scale tw the advisor picks Cuckoo while n is small enough for
+// the filter to be cache-resident, and Bloom overtakes as n grows. The
+// adaptive filter must start as Cuckoo and migrate itself to Bloom as
+// inserts accumulate — through the periodic control loop or the ErrFull
+// emergency path, whichever fires first — with the flip recorded in its
+// decisions and no key lost.
+func TestAdaptiveLiveCrossover(t *testing.T) {
+	const tw = 400.0
+	start := uint64(1) << 12
+	a, advice, err := NewAdaptiveAdvised(AdaptiveOptions{
+		Workload: Workload{N: start, Tw: tw, BitsPerKeyBudget: 16},
+		Shards:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advice.Config.Kind != Cuckoo {
+		t.Fatalf("advisor picked %s at n=%d, tw=%g; expected cuckoo", advice.Config.Kind, start, tw)
+	}
+
+	// Find the modeled crossover: the smallest probed n where the static
+	// advisor flips to Bloom.
+	modeled := uint64(0)
+	for n := start; n <= 1<<23; n *= 2 {
+		adv, err := Advise(Workload{N: n, Tw: tw, BitsPerKeyBudget: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adv.Config.Kind == BlockedBloom {
+			modeled = n
+			break
+		}
+	}
+	if modeled == 0 {
+		t.Fatal("no modeled crossover below 2^23 — cost model changed?")
+	}
+
+	limit := 2 * modeled
+	batch := make([]Key, 1<<12)
+	var n uint64
+	for n < limit {
+		for i := range batch {
+			batch[i] = Key(n + uint64(i))
+		}
+		if _, err := a.InsertBatch(batch); err != nil {
+			t.Fatalf("insert at n=%d: %v", n, err)
+		}
+		n += uint64(len(batch))
+		if _, err := a.Reoptimize(); err != nil {
+			t.Fatalf("reoptimize at n=%d: %v", n, err)
+		}
+	}
+	if a.Config().Kind != BlockedBloom {
+		t.Fatalf("filter is still %s at n=%d; expected the tuner to flip to bloom (modeled crossover %d)",
+			a.Config().Kind, n, modeled)
+	}
+	// The flip may come from a periodic Reoptimize or from the ErrFull
+	// emergency path; either way it must be in the decision history.
+	var flipN uint64
+	for _, d := range a.Decisions() {
+		if d.Migrated && d.KindChanged {
+			flipN = d.N
+			break
+		}
+	}
+	if flipN == 0 {
+		t.Fatal("no kind-changing migration recorded")
+	}
+	// The live flip happens within a factor of 4 of the modeled boundary
+	// (hysteresis delays it past the exact crossover by design).
+	if flipN < modeled/4 || flipN > 4*modeled {
+		t.Fatalf("kind flip at n=%d, far from modeled crossover %d", flipN, modeled)
+	}
+	// Spot-check losslessness after the whole cascade of migrations.
+	probe := make([]Key, 4096)
+	rng := rand.New(rand.NewSource(7))
+	for i := range probe {
+		probe[i] = Key(rng.Int63n(int64(n)))
+	}
+	if sel := a.ContainsBatch(probe, nil); len(sel) != len(probe) {
+		t.Fatalf("%d of %d inserted keys present after crossover migrations", len(sel), len(probe))
+	}
+}
+
+// TestAdaptiveEnvelopeRoundTrip checks the serialization path: probe
+// equivalence, counter restoration, and — because the key log rides in the
+// envelope — the restored filter can still migrate kinds losslessly.
+func TestAdaptiveEnvelopeRoundTrip(t *testing.T) {
+	const n = 20_000
+	a, err := NewAdaptive(adaptiveBloomCfg, 16*n, AdaptiveOptions{
+		Workload: Workload{Tw: 5000, Sigma: 0.2},
+		Shards:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = Key(i * 3)
+	}
+	if _, err := a.InsertBatch(keys); err != nil {
+		t.Fatal(err)
+	}
+	a.ContainsBatch(keys[:1000], nil)
+
+	data, err := Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := f.(*Adaptive)
+	if !ok {
+		t.Fatalf("Unmarshal returned %T", f)
+	}
+	if got := b.Counters(); got != a.Counters() {
+		t.Fatalf("counters: got %+v, want %+v", got, a.Counters())
+	}
+	if b.Config() != a.Config() {
+		t.Fatalf("config: got %+v, want %+v", b.Config(), a.Config())
+	}
+	rng := rand.New(rand.NewSource(9))
+	probe := make([]Key, 4096)
+	for trial := 0; trial < 4; trial++ {
+		for i := range probe {
+			probe[i] = Key(rng.Intn(6 * n))
+		}
+		got := b.ContainsBatch(probe, nil)
+		want := a.ContainsBatch(probe, nil)
+		if !bytes.Equal(selBytes(got), selBytes(want)) {
+			t.Fatalf("trial %d: restored filter differs from original", trial)
+		}
+	}
+
+	// The restored key log still supports a kind change.
+	if err := b.Migrate(adaptiveCuckooCfg, 2*CuckooSizeForKeys(16, 2, n)); err != nil {
+		t.Fatalf("migrate after restore: %v", err)
+	}
+	if sel := b.ContainsBatch(keys, nil); len(sel) != n {
+		t.Fatalf("%d of %d keys present after post-restore migration", len(sel), n)
+	}
+}
+
+// TestAdaptiveErrFullRecovery fills a deliberately undersized cuckoo
+// filter far past its capacity: the emergency path must grow it live and
+// every insert must be acknowledged and retained.
+func TestAdaptiveErrFullRecovery(t *testing.T) {
+	capKeys := uint64(4096)
+	a, err := NewAdaptive(adaptiveCuckooCfg, CuckooSizeForKeys(16, 2, capKeys), AdaptiveOptions{
+		Workload: Workload{N: capKeys, Tw: 100_000, BitsPerKeyBudget: 16},
+		Shards:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 8 * int(capKeys)
+	for i := 0; i < total; i++ {
+		if err := a.Insert(Key(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	all := make([]Key, total)
+	for i := range all {
+		all[i] = Key(i)
+	}
+	if sel := a.ContainsBatch(all, nil); len(sel) != total {
+		t.Fatalf("%d of %d keys present after emergency growth", len(sel), total)
+	}
+	grown := false
+	for _, d := range a.Decisions() {
+		if d.Migrated {
+			grown = true
+		}
+	}
+	if !grown {
+		t.Fatal("no growth migration recorded")
+	}
+}
+
+// TestAdaptiveRotateClearsWithoutResurrection pins the adaptive rotation
+// contract: Rotate clears (the standard ConcurrentFilter semantics), the
+// key log and counters rotate with the generation, and — the regression
+// that matters — a later migration must NOT resurrect cleared keys from a
+// stale log. Migrate with the current config is the resize-preserving
+// operation.
+func TestAdaptiveRotateClearsWithoutResurrection(t *testing.T) {
+	const n = 10_000
+	a, err := NewAdaptive(adaptiveBloomCfg, 16*n, AdaptiveOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := make([]Key, n)
+	for i := range old {
+		old[i] = Key(i)
+	}
+	if _, err := a.InsertBatch(old); err != nil {
+		t.Fatal(err)
+	}
+
+	// Migrate at the same config and double the size: contents preserved.
+	if err := a.Migrate(a.Config(), 32*n); err != nil {
+		t.Fatal(err)
+	}
+	if sel := a.ContainsBatch(old, nil); len(sel) != n {
+		t.Fatalf("%d of %d keys present after resize migration", len(sel), n)
+	}
+	if a.SizeBits() < 24*n {
+		t.Fatalf("size = %d bits after resize, want ≥ %d", a.SizeBits(), 24*n)
+	}
+
+	// Rotate: clears contents, restarts the log epoch and the counters.
+	gen := a.Generation()
+	if err := a.Rotate(16*n, nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.Generation() != gen+1 {
+		t.Fatalf("generation = %d, want %d", a.Generation(), gen+1)
+	}
+	if sel := a.ContainsBatch(old[:1000], nil); len(sel) > 10 {
+		t.Fatalf("%d old keys still probe positive after clearing rotation", len(sel))
+	}
+	if c := a.Counters(); c.Inserts != 0 {
+		t.Fatalf("counters survived rotation: %+v", c)
+	}
+	if a.LogBits() != 0 {
+		t.Fatalf("key log survived rotation: %d bits", a.LogBits())
+	}
+
+	// New keys in, then a kind migration: new keys survive, cleared keys
+	// stay gone (no resurrection from a stale log epoch).
+	fresh := make([]Key, n)
+	for i := range fresh {
+		fresh[i] = Key(1_000_000 + i)
+	}
+	if _, err := a.InsertBatch(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Migrate(adaptiveCuckooCfg, 2*CuckooSizeForKeys(16, 2, n)); err != nil {
+		t.Fatal(err)
+	}
+	if sel := a.ContainsBatch(fresh, nil); len(sel) != n {
+		t.Fatalf("%d of %d fresh keys present after migration", len(sel), n)
+	}
+	if sel := a.ContainsBatch(old[:1000], nil); len(sel) > 10 {
+		t.Fatalf("migration resurrected %d cleared keys", len(sel))
+	}
+
+	// Reset clears filter, log and counters too.
+	a.Reset()
+	if sel := a.ContainsBatch(fresh[:100], nil); len(sel) != 0 {
+		t.Fatal("keys survived Reset")
+	}
+	if c := a.Counters(); c.Inserts != 0 {
+		t.Fatalf("counters survived Reset: %+v", c)
+	}
+}

@@ -163,6 +163,43 @@ func Advise(w Workload) (Advice, error) {
 	}, nil
 }
 
+// EvaluateOverhead models a *specific* configuration at a specific size
+// under the workload, returning the same Advice fields Advise computes for
+// its winner — the per-probe overhead ρ = tl + f·tw, the lookup cost tl
+// and the analytic FPR at w.N keys. This is the comparison side of the
+// adaptive control loop: Advise names the best configuration for the
+// observed workload, EvaluateOverhead prices the configuration currently
+// deployed, and the hysteresis policy migrates only when the gap is worth
+// it. MBits and Shards in the returned Advice echo the inputs.
+func EvaluateOverhead(w Workload, cfg Config, mBits uint64) (Advice, error) {
+	if w.N == 0 {
+		return Advice{}, fmt.Errorf("perfilter: workload needs N > 0")
+	}
+	if w.Tw < 0 || w.Sigma < 0 || w.Sigma > 1 {
+		return Advice{}, fmt.Errorf("perfilter: invalid Tw or Sigma")
+	}
+	mc, err := cfg.toModel()
+	if err != nil {
+		return Advice{}, err
+	}
+	machine := w.Platform.machine()
+	if mc.Kind == model.KindExact {
+		mBits = model.ExactBits(w.N)
+	}
+	tl := machine.LookupCycles(mc, mBits)
+	f := mc.FPR(mBits, w.N)
+	rho := model.Overhead(tl, f, w.Tw)
+	return Advice{
+		Config:       cfg,
+		MBits:        mBits,
+		FPR:          f,
+		LookupCycles: tl,
+		Overhead:     rho,
+		Beneficial:   model.Beneficial(rho, w.Sigma, w.Tw),
+		Model:        machine.Name(),
+	}, nil
+}
+
 // BuildAdvised is a convenience that runs Advise and constructs the
 // recommended filter.
 func BuildAdvised(w Workload) (Filter, Advice, error) {

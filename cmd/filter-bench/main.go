@@ -7,6 +7,12 @@
 // aggregate insert and batched-probe throughput (keys/s) across 1..N
 // goroutines, sharded filter vs the single-mutex baseline.
 //
+// -adaptive runs the live-crossover scenario: an adaptive filter advised
+// for a small n at -tw starts as Cuckoo and, as inserted keys grow past
+// the modeled Bloom/Cuckoo boundary, the control loop migrates it to
+// Bloom losslessly — the paper's headline result as a runtime event. The
+// JSON summary records the decision trace and the flip point.
+//
 // -json FILE additionally writes the run as a machine-readable
 // BENCH_*.json summary (series + headline-config FPR), which CI archives
 // as an artifact so throughput trajectories survive across commits.
@@ -15,6 +21,7 @@
 //
 //	filter-bench [-fig 3|5|9|14|15|ablation] [-quick] [-size MiB] [-json BENCH_fig14.json]
 //	filter-bench -parallel N [-shards P] [-quick] [-size MiB] [-json BENCH_parallel.json]
+//	filter-bench -adaptive [-tw cycles] [-quick] [-json BENCH_adaptive.json]
 package main
 
 import (
@@ -34,6 +41,8 @@ func main() {
 	sizeMiB := flag.Uint64("size", 256, "large-filter size in MiB (figures 5, 9 and -parallel)")
 	parallel := flag.Int("parallel", 0, "run the parallel-throughput experiment across 1..N goroutines")
 	shards := flag.Int("shards", 0, "shard count for -parallel (0 = 4 lock stripes per goroutine)")
+	adaptiveRun := flag.Bool("adaptive", false, "run the live Bloom↔Cuckoo crossover scenario (adaptive re-optimization)")
+	tw := flag.Float64("tw", 0, "work saved per pruned probe for -adaptive, in cycles (0 = 10000, or 400 with -quick)")
 	jsonPath := flag.String("json", "", "also write a BENCH_*.json throughput/FPR summary to this path")
 	flag.Parse()
 
@@ -45,9 +54,27 @@ func main() {
 
 	var series []bench.Series
 	var fig15 []bench.Fig15Row
+	var adaptiveSummary *bench.AdaptiveSummary
 	experiment := "fig" + *fig
 
-	if *parallel > 0 {
+	if *adaptiveRun {
+		experiment = "adaptive"
+		twVal := *tw
+		if twVal == 0 {
+			twVal = 10_000
+			if *quick {
+				twVal = 400
+			}
+		}
+		fmt.Printf("# Adaptive re-optimization: live Bloom↔Cuckoo crossover at tw=%g\n", twVal)
+		var err error
+		series, adaptiveSummary, err = runAdaptive(twVal, *quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "filter-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.Format(series))
+	} else if *parallel > 0 {
 		experiment = "parallel"
 		counts := bench.GoroutineCounts(*parallel)
 		fmt.Printf("# Parallel insert throughput, %d MiB filter, sharded vs single mutex\n", *sizeMiB)
@@ -100,6 +127,7 @@ func main() {
 	if *jsonPath != "" {
 		summary := bench.NewSummary(experiment, *quick, *sizeMiB, series)
 		summary.Fig15 = fig15
+		summary.Adaptive = adaptiveSummary
 		if err := summary.WriteJSON(*jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "filter-bench:", err)
 			os.Exit(1)

@@ -9,9 +9,18 @@
 // demand, and SIGINT/SIGTERM trigger a snapshot of every filter before
 // the process exits.
 //
+// With -autotune set the server re-optimizes itself: every filter tracks
+// its observed workload (inserts, probes, positive fraction), and on the
+// given period each one is re-advised against the paper's cost model and
+// migrated live — including Bloom↔Cuckoo kind changes, losslessly, under
+// traffic — whenever the recommended configuration's modeled overhead
+// beats the deployed one by the hysteresis margin. The post-migration
+// configuration persists through the snapshot envelope.
+//
 // Usage:
 //
 //	filter-server [-addr :8077] [-data-dir /var/lib/filter-server] [-max-batch-bytes 16777216]
+//	              [-autotune 30s] [-default-tw 1000]
 package main
 
 import (
@@ -36,11 +45,15 @@ func main() {
 		"largest filter a create/rotate request may allocate, in bits")
 	maxTotal := flag.Uint64("max-total-bits", server.DefaultMaxTotalBits,
 		"memory budget across all filters, in bits")
+	autotune := flag.Duration("autotune", 0,
+		"re-optimization period: re-advise every filter against its tracked workload and migrate when the modeled win clears the hysteresis margin (0 = off)")
+	defaultTw := flag.Float64("default-tw", server.DefaultTw,
+		"default work saved per pruned probe in cycles, for filters created without tw")
 	flag.Parse()
 
 	reg := server.New(server.Options{
 		MaxBatchBytes: *maxBatch, MaxFilterBits: *maxBits, MaxTotalBits: *maxTotal,
-		DataDir: *dataDir,
+		DataDir: *dataDir, Tw: *defaultTw,
 	})
 	if *dataDir != "" {
 		loaded, err := reg.LoadAll()
@@ -57,6 +70,10 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if *autotune > 0 {
+		reg.StartAutotune(ctx, *autotune)
+		log.Printf("filter-server: autotune every %s (default tw %g cycles)", *autotune, *defaultTw)
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("filter-server listening on %s", *addr)

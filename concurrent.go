@@ -91,18 +91,27 @@ func NewSharded(cfg Config, mBits uint64, shards int) (*Sharded, error) {
 	return sh, nil
 }
 
-// factory builds one shard of the given size, in bits for every kind:
-// Exact shards go through NewExact directly so a small per-shard split
-// never lands in New's below-2^16 capacity-hint regime.
+// factory builds one shard of the given size under the wrapper's current
+// configuration; see factoryFor.
 func (s *Sharded) factory(perShardBits uint64) sharded.Factory {
-	if s.cfg.Kind == Exact {
+	return factoryFor(s.cfg, perShardBits)
+}
+
+// factoryFor builds one shard of the given size, in bits for every kind:
+// Exact shards go through NewExact directly so a small per-shard split
+// never lands in New's below-2^16 capacity-hint regime. cfg is captured by
+// value: the factory outlives the Rotate/Migrate call that installed it,
+// and must keep building the generation it was made for even after a later
+// Migrate changes the wrapper's configuration.
+func factoryFor(cfg Config, perShardBits uint64) sharded.Factory {
+	if cfg.Kind == Exact {
 		capacity := perShardBits / 64
 		if capacity == 0 {
 			capacity = 1
 		}
 		return func() (sharded.Inner, error) { return NewExact(int(capacity)), nil }
 	}
-	return func() (sharded.Inner, error) { return New(s.cfg, perShardBits) }
+	return func() (sharded.Inner, error) { return New(cfg, perShardBits) }
 }
 
 // Insert implements Filter; it is safe for concurrent use (the interface
@@ -187,9 +196,44 @@ func (s *Sharded) Rotate(mBits uint64, fill func(insert func(Key) error) error) 
 	return nil
 }
 
-// Config returns the per-shard filter configuration the wrapper was built
-// with.
-func (s *Sharded) Config() Config { return s.cfg }
+// Migrate is a configuration-changing Rotate: it swaps in a freshly built
+// generation of a *different* filter configuration (including a different
+// Kind — Bloom→Cuckoo or Cuckoo→Bloom) at mBits total bits (0 keeps the
+// current size), with the same losslessness contract as Rotate. fill
+// repopulates the staged generation; because approximate filters cannot
+// enumerate their keys, a kind change needs an external key source — pair
+// fill with a key log that writers append to before inserting (what
+// perfilter.NewAdaptive maintains) and no acknowledged write is lost. On
+// error the filter is unchanged, still serving its previous configuration.
+func (s *Sharded) Migrate(cfg Config, mBits uint64, fill func(insert func(Key) error) error) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	shards := s.s.NumShards()
+	if mBits == 0 {
+		mBits = s.perShard * uint64(shards)
+	}
+	perShard, p := sharded.SplitBits(mBits, shards)
+	if perShard == 0 {
+		return fmt.Errorf("perfilter: %d bits cannot be split across %d shards", mBits, p)
+	}
+	if err := s.s.Rotate(factoryFor(cfg, perShard), fill); err != nil {
+		return err
+	}
+	s.cfg = cfg
+	s.perShard = perShard
+	return nil
+}
+
+// Config returns the per-shard filter configuration the wrapper currently
+// serves (Migrate changes it).
+func (s *Sharded) Config() Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg
+}
 
 // compile-time interface checks
 var (

@@ -1,0 +1,214 @@
+// Package adaptive holds the workload-tracking and control-loop substrate
+// behind perfilter.NewAdaptive: cheap atomic workload counters, the
+// hysteresis policy deciding when a re-advised configuration is worth a
+// live migration, an append-only striped key log that makes migrations
+// lossless (any filter kind can be rebuilt from it), and the background
+// tuner goroutine driving periodic re-optimization.
+//
+// The paper's central observation is that the performance-optimal filter
+// *changes* as the workload moves (n and tw shift the Bloom/Cuckoo
+// boundary, §2 and Fig. 1). A filter advised once at build time is
+// therefore silently wrong after the workload outgrows it. This package
+// supplies the mechanism; the policy-free model evaluation stays in the
+// root package (which owns Advise) and is injected as a callback, keeping
+// the import direction root → internal consistent with the rest of the
+// repository.
+package adaptive
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats accumulates the observed workload with lock-free atomic counters —
+// cheap enough to sit on every insert and probe of a production filter.
+type Stats struct {
+	inserts   atomic.Uint64
+	probes    atomic.Uint64
+	positives atomic.Uint64
+	batches   atomic.Uint64
+}
+
+// RecordInsert counts n acknowledged inserts.
+func (s *Stats) RecordInsert(n uint64) { s.inserts.Add(n) }
+
+// RecordProbe counts one probe batch: probed keys and positive answers.
+func (s *Stats) RecordProbe(probed, positive uint64) {
+	s.probes.Add(probed)
+	s.positives.Add(positive)
+	s.batches.Add(1)
+}
+
+// Reset zeroes all counters (a new generation's history starts fresh).
+func (s *Stats) Reset() {
+	s.inserts.Store(0)
+	s.probes.Store(0)
+	s.positives.Store(0)
+	s.batches.Store(0)
+}
+
+// Restore overwrites the counters from a snapshot (the deserialization
+// path; not concurrency-safe against recording).
+func (s *Stats) Restore(c Counters) {
+	s.inserts.Store(c.Inserts)
+	s.probes.Store(c.Probes)
+	s.positives.Store(c.Positives)
+	s.batches.Store(c.Batches)
+}
+
+// Snapshot returns a point-in-time copy of the counters.
+func (s *Stats) Snapshot() Counters {
+	return Counters{
+		Inserts:   s.inserts.Load(),
+		Probes:    s.probes.Load(),
+		Positives: s.positives.Load(),
+		Batches:   s.batches.Load(),
+	}
+}
+
+// Counters is one observation of the tracked workload.
+type Counters struct {
+	Inserts   uint64 `json:"inserts"`
+	Probes    uint64 `json:"probes"`
+	Positives uint64 `json:"positives"`
+	Batches   uint64 `json:"batches"`
+}
+
+// Sigma estimates the true-hit fraction σ from the observed positive
+// fraction. The estimate includes false positives, so it overstates σ by
+// at most the filter's FPR — negligible against the ρ comparison it feeds
+// (σ only gates the is-filtering-beneficial test). fallback is returned
+// when no probes have been observed yet.
+func (c Counters) Sigma(fallback float64) float64 {
+	if c.Probes == 0 {
+		return fallback
+	}
+	return float64(c.Positives) / float64(c.Probes)
+}
+
+// Policy is the hysteresis rule deciding when a re-advised configuration
+// justifies a live migration. Migration is not free (the key log is
+// replayed into a staged generation), so the modeled win must clear a
+// margin before the tuner acts, and a minimum of observed work must have
+// accumulated so one early probe burst cannot thrash the filter.
+type Policy struct {
+	// Margin is the fractional ρ improvement required to migrate: the
+	// candidate must satisfy ρ_new < (1−Margin)·ρ_cur. Default 0.15.
+	Margin float64
+	// MinInserts gates migration until the filter has seen at least this
+	// many inserts. Default 1024.
+	MinInserts uint64
+	// Cooldown is the minimum time between two migrations. Default 0 (the
+	// re-advise interval already paces the loop).
+	Cooldown time.Duration
+}
+
+// WithDefaults fills zero fields with the defaults above.
+func (p Policy) WithDefaults() Policy {
+	if p.Margin == 0 {
+		p.Margin = 0.15
+	}
+	if p.MinInserts == 0 {
+		p.MinInserts = 1024
+	}
+	return p
+}
+
+// ShouldMigrate applies the hysteresis rule to a modeled comparison and
+// returns the verdict with a human-readable reason (surfaced through the
+// server's advice endpoint and the bench's decision records).
+func (p Policy) ShouldMigrate(curRho, bestRho float64, inserts uint64, sinceLast time.Duration) (bool, string) {
+	if inserts < p.MinInserts {
+		return false, fmt.Sprintf("only %d inserts observed (min %d)", inserts, p.MinInserts)
+	}
+	if p.Cooldown > 0 && sinceLast >= 0 && sinceLast < p.Cooldown {
+		return false, fmt.Sprintf("cooling down (%s of %s)", sinceLast.Round(time.Millisecond), p.Cooldown)
+	}
+	if curRho <= 0 {
+		return false, "current overhead not modeled"
+	}
+	improvement := 1 - bestRho/curRho
+	if improvement < p.Margin {
+		return false, fmt.Sprintf("improvement %.1f%% below margin %.1f%%", improvement*100, p.Margin*100)
+	}
+	return true, fmt.Sprintf("improvement %.1f%% clears margin %.1f%%", improvement*100, p.Margin*100)
+}
+
+// Decision records one re-optimization pass: what the tracker saw, what
+// the model recommended, and whether the filter migrated. Decisions are
+// JSON-friendly so the server's advice endpoint and the bench summary can
+// emit them verbatim.
+type Decision struct {
+	At          time.Time `json:"at"`
+	N           uint64    `json:"n"`
+	Sigma       float64   `json:"sigma"`
+	Current     string    `json:"current"`
+	CurrentRho  float64   `json:"current_rho"`
+	Best        string    `json:"best"`
+	BestMBits   uint64    `json:"best_mbits"`
+	BestRho     float64   `json:"best_rho"`
+	KindChanged bool      `json:"kind_changed"`
+	Migrated    bool      `json:"migrated"`
+	Reason      string    `json:"reason"`
+}
+
+// Tuner drives a re-optimization step on a fixed interval from a
+// background goroutine. The step callback owns all policy and migration
+// logic; the tuner only paces it and serializes Start/Stop.
+type Tuner struct {
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Start launches the loop, invoking step every interval until Stop. A
+// second Start without an intervening Stop is a no-op.
+func (t *Tuner) Start(interval time.Duration, step func()) {
+	if interval <= 0 || step == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	t.stop, t.done = stop, done
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				step()
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for the in-flight step, if any, to finish.
+// Stopping a tuner that was never started is a no-op.
+func (t *Tuner) Stop() {
+	t.mu.Lock()
+	stop, done := t.stop, t.done
+	t.stop, t.done = nil, nil
+	t.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Running reports whether the background loop is active.
+func (t *Tuner) Running() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stop != nil
+}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"runtime"
 
+	"perfilter/internal/adaptive"
 	"perfilter/internal/blocked"
 	"perfilter/internal/cuckoo"
 	"perfilter/internal/model"
@@ -20,9 +21,26 @@ type Summary struct {
 	SizeMiB    uint64       `json:"size_mib"`
 	GoMaxProcs int          `json:"gomaxprocs"`
 	NumCPU     int          `json:"num_cpu"`
-	Series     []Series     `json:"series"`
-	Fig15      []Fig15Row   `json:"fig15,omitempty"`
-	FPR        []FPRSummary `json:"fpr"`
+	Series     []Series         `json:"series"`
+	Fig15      []Fig15Row       `json:"fig15,omitempty"`
+	Adaptive   *AdaptiveSummary `json:"adaptive,omitempty"`
+	FPR        []FPRSummary     `json:"fpr"`
+}
+
+// AdaptiveSummary is the -adaptive scenario's machine-readable record:
+// the paper's Bloom-overtakes-Cuckoo crossover happening *live*, with the
+// control loop's decisions alongside the modeled boundary so CI archives
+// where (and that) the filter kind flipped.
+type AdaptiveSummary struct {
+	Tw               float64             `json:"tw"`
+	StartN           uint64              `json:"start_n"`
+	FinalN           uint64              `json:"final_n"`
+	StartKind        string              `json:"start_kind"`
+	FinalKind        string              `json:"final_kind"`
+	ModeledCrossover uint64              `json:"modeled_crossover_n"`
+	KindFlipN        uint64              `json:"kind_flip_n"`
+	Migrations       int                 `json:"migrations"`
+	Decisions        []adaptive.Decision `json:"decisions"`
 }
 
 // FPRSummary is one headline configuration's analytic false-positive rate

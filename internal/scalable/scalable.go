@@ -15,6 +15,7 @@ package scalable
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"perfilter/internal/blocked"
 	"perfilter/internal/core"
@@ -54,10 +55,35 @@ type stage struct {
 	fprGoal  float64
 }
 
-// Filter is a scalable Bloom filter. Not safe for concurrent writes.
+// Filter is a scalable Bloom filter. Not safe for concurrent writes;
+// concurrent readers are fine (ContainsBatch scratch is pooled, never
+// shared between calls).
 type Filter struct {
-	opts   Options
-	stages []stage
+	opts    Options
+	stages  []stage
+	scratch sync.Pool // *batchScratch
+}
+
+// batchScratch holds one ContainsBatch call's candidate-list buffers,
+// pooled so steady-state probing does not allocate.
+type batchScratch struct {
+	cand  []uint32   // original positions still unresolved
+	ckeys []core.Key // their keys, compacted alongside
+	hit   []bool     // per-position result
+	psel  []uint32   // per-stage selection buffer
+}
+
+func (sc *batchScratch) resize(n int) {
+	if cap(sc.cand) < n {
+		sc.cand = make([]uint32, n)
+		sc.ckeys = make([]core.Key, n)
+		sc.hit = make([]bool, n)
+		sc.psel = make([]uint32, 0, n)
+	}
+	sc.cand = sc.cand[:n]
+	sc.ckeys = sc.ckeys[:n]
+	sc.hit = sc.hit[:n]
+	clear(sc.hit)
 }
 
 // New validates options and creates the first stage.
@@ -148,12 +174,82 @@ func (f *Filter) Contains(key core.Key) bool {
 	return false
 }
 
-// ContainsBatch implements the shared batched contract.
+// ContainsBatch implements the shared batched contract. Rather than
+// falling back to one scalar Contains per key (which probes every stage
+// key-at-a-time), the batch is driven through each stage's own batched
+// kernel with a shrinking candidate list: stage i sees only the keys no
+// earlier stage matched, so the amortized per-key cost of the blocked
+// kernels is preserved and most keys leave the pipeline at the first
+// (newest, largest) stage. Results are identical to the scalar path —
+// positions ascending, exactly the keys some stage matches.
 func (f *Filter) ContainsBatch(keys []core.Key, sel core.SelVec) core.SelVec {
-	buf, cnt := simd.GrowSel(sel, len(keys))
-	for i, key := range keys {
+	n := len(keys)
+	if n == 0 {
+		return sel
+	}
+	if len(f.stages) == 1 {
+		return f.stages[0].filter.ContainsBatch(keys, sel)
+	}
+	// Candidate list: original positions of the keys still unresolved.
+	// Newest stage first, matching Contains' probe order (recent keys are
+	// the likely hits in growing workloads, so the first stage resolves
+	// most of the batch and later stages see short remainders).
+	sc, _ := f.scratch.Get().(*batchScratch)
+	if sc == nil {
+		sc = new(batchScratch)
+	}
+	sc.resize(n)
+	defer f.scratch.Put(sc)
+	cand, ckeys, hit := sc.cand[:0], sc.ckeys, sc.hit
+
+	// Newest stage: probe the caller's batch directly and seed the
+	// candidate list with the keys it did not resolve.
+	newest := len(f.stages) - 1
+	psel := f.stages[newest].filter.ContainsBatch(keys, sc.psel[:0])
+	r := 0
+	for i, k := range keys {
+		if r < len(psel) && uint32(i) == psel[r] {
+			hit[i] = true
+			r++
+			continue
+		}
+		ckeys[len(cand)] = k
+		cand = append(cand, uint32(i))
+	}
+
+	for s := newest - 1; s >= 0 && len(cand) > 0; s-- {
+		psel = f.stages[s].filter.ContainsBatch(ckeys[:len(cand)], psel[:0])
+		if len(psel) == 0 {
+			continue
+		}
+		if s == 0 {
+			for _, p := range psel {
+				hit[cand[p]] = true
+			}
+			break
+		}
+		// One fused pass: record this stage's hits and compact the
+		// survivors in place (psel is ascending, so a single cursor walks
+		// it alongside the candidate list).
+		w := 0
+		r = 0
+		for i, pos := range cand {
+			if r < len(psel) && uint32(i) == psel[r] {
+				hit[pos] = true
+				r++
+				continue
+			}
+			cand[w] = pos
+			ckeys[w] = ckeys[i]
+			w++
+		}
+		cand = cand[:w]
+	}
+	sc.psel = psel
+	buf, cnt := simd.GrowSel(sel, n)
+	for i, h := range hit {
 		buf[cnt] = uint32(i)
-		cnt += simd.B2I(f.Contains(key))
+		cnt += simd.B2I(h)
 	}
 	return buf[:cnt]
 }

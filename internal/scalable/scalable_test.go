@@ -95,6 +95,118 @@ func TestBatchMatchesScalar(t *testing.T) {
 	}
 }
 
+// TestBatchMatchesScalarManyStages is the parity test for the staged
+// batch path: a filter grown through many stages, probed with a mix of
+// members (leaving the pipeline at different stages) and non-members,
+// must produce exactly the selection vector of the per-key scalar loop.
+func TestBatchMatchesScalarManyStages(t *testing.T) {
+	f, err := New(DefaultOptions(300, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.NewMT19937(7)
+	inserted := make([]uint32, 12000)
+	for i := range inserted {
+		inserted[i] = r.Uint32()
+		if err := f.Insert(inserted[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Stages() < 5 {
+		t.Fatalf("expected ≥5 stages, got %d", f.Stages())
+	}
+	for trial := 0; trial < 8; trial++ {
+		probe := make([]uint32, 2048)
+		for i := range probe {
+			switch i % 3 {
+			case 0: // old member (early stage)
+				probe[i] = inserted[int(r.Uint32())%4000]
+			case 1: // recent member (late stage)
+				probe[i] = inserted[8000+int(r.Uint32())%4000]
+			default: // likely non-member
+				probe[i] = r.Uint32()
+			}
+		}
+		// Re-use a previously returned selection to exercise the append
+		// contract too.
+		sel := f.ContainsBatch(probe, nil)
+		var want []uint32
+		for i, k := range probe {
+			if f.Contains(k) {
+				want = append(want, uint32(i))
+			}
+		}
+		if len(sel) != len(want) {
+			t.Fatalf("trial %d: %d selected, want %d", trial, len(sel), len(want))
+		}
+		for i := range sel {
+			if sel[i] != want[i] {
+				t.Fatalf("trial %d: sel[%d] = %d, want %d", trial, i, sel[i], want[i])
+			}
+		}
+	}
+}
+
+// benchFilter builds a multi-stage filter plus a mixed probe batch shared
+// by the before/after ContainsBatch benchmarks.
+func benchFilter(b *testing.B) (*Filter, []uint32) {
+	f, err := New(DefaultOptions(4096, 0.01))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.NewMT19937(8)
+	inserted := make([]uint32, 1<<16)
+	for i := range inserted {
+		inserted[i] = r.Uint32()
+		f.Insert(inserted[i])
+	}
+	probe := make([]uint32, 1024)
+	for i := range probe {
+		if i%4 == 0 {
+			probe[i] = inserted[int(r.Uint32())%len(inserted)]
+		} else {
+			probe[i] = r.Uint32()
+		}
+	}
+	return f, probe
+}
+
+// BenchmarkContainsBatchStaged measures the stage-batched candidate-list
+// path against BenchmarkContainsBatchScalarRef (the pre-rewrite per-key
+// behaviour). Note the caveat that applies to every batch kernel in this
+// repository (DESIGN/EXPERIMENTS): the pure-Go "software SIMD" kernels
+// compress the paper's SIMD speedups, so on hosts without real gather the
+// two paths measure close to parity — the batched path pays off on
+// AVX2/AVX-512-class hardware, and structurally it replaces one interface
+// dispatch per key per stage with one per stage per batch.
+func BenchmarkContainsBatchStaged(b *testing.B) {
+	f, probe := benchFilter(b)
+	b.Logf("stages=%d", f.Stages())
+	sel := make([]uint32, 0, len(probe))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel = f.ContainsBatch(probe, sel[:0])
+	}
+}
+
+// BenchmarkContainsBatchScalarRef measures the pre-rewrite behaviour (one
+// scalar Contains per key across all stages) for comparison.
+func BenchmarkContainsBatchScalarRef(b *testing.B) {
+	f, probe := benchFilter(b)
+	sel := make([]uint32, 0, len(probe))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel = sel[:0]
+		for j, k := range probe {
+			if f.Contains(k) {
+				sel = append(sel, uint32(j))
+			}
+		}
+	}
+}
+
 func TestStageBudgetsTighten(t *testing.T) {
 	f, _ := New(DefaultOptions(100, 0.01))
 	r := rng.NewMT19937(4)

@@ -11,9 +11,34 @@
 //	DELETE /v1/filters/{name}        drop a filter
 //	POST   /v1/filters/{name}/rotate swap in a fresh generation (optionally
 //	                                 resized) under live traffic
+//	GET    /v1/filters/{name}/advice re-run the cost model against the
+//	                                 filter's *tracked* workload (observed
+//	                                 n and σ): current vs recommended
+//	                                 config, modeled overheads, and whether
+//	                                 the hysteresis policy would migrate
+//	                                 (?tw= overrides the work-saved term
+//	                                 for exploration)
+//	POST   /v1/filters/{name}/migrate
+//	                                 migrate the filter live — losslessly,
+//	                                 under traffic, including Bloom↔Cuckoo
+//	                                 kind changes. Empty body applies the
+//	                                 advisor's recommendation when the
+//	                                 hysteresis margin clears ({"force":
+//	                                 true} applies it regardless); a body
+//	                                 with kind/mbits (create-style geometry
+//	                                 fields) names an explicit target
 //	POST   /v1/filters/{name}/snapshot
 //	                                 persist the filter to the data dir
 //	GET    /healthz                  liveness
+//
+// Every filter is wrapped in perfilter.NewAdaptive: inserts and probes
+// feed atomic workload counters, and an append-only key log makes live
+// migrations lossless. StartAutotune (filter-server -autotune) turns the
+// advice endpoint's answer into action on a period: each filter whose
+// re-advised configuration beats the deployed one by the hysteresis
+// margin is migrated automatically, with the memory budget re-accounted.
+// The key log costs 32 bits per logged insert, on top of the filter
+// itself and outside the budget.
 //
 // Persistence: with Options.DataDir set, filters snapshot to
 // <dir>/<name>.pf (the perfilter wire format) via the endpoint above or
@@ -42,20 +67,24 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"perfilter"
+	"perfilter/internal/adaptive"
 )
 
 // DefaultMaxBatchBytes caps data-plane request bodies (16 MiB = 4M keys).
@@ -70,6 +99,11 @@ const DefaultMaxFilterBits = 1 << 33
 // (2^35 bits = 4 GiB) — the per-filter cap alone would still let a
 // client OOM the server by creating many filters at the limit.
 const DefaultMaxTotalBits = 1 << 35
+
+// DefaultTw is the work saved per pruned probe assumed for filters whose
+// creation named no tw: 1000 cycles, between Figure 1's cache-miss (~10^2)
+// and network-tuple (~10^4) reference points.
+const DefaultTw = 1000
 
 var nameRE = regexp.MustCompile(`^[A-Za-z0-9_.-]{1,64}$`)
 
@@ -88,6 +122,16 @@ type Options struct {
 	// to <DataDir>/<name>.pf and restored by LoadAll. The directory is
 	// created on first use.
 	DataDir string
+	// Tw is the default work saved per pruned probe (cycles) for filters
+	// created without an explicit tw; 0 means DefaultTw. It parameterizes
+	// the advice/migrate/autotune cost comparisons.
+	Tw float64
+	// Policy is the migration hysteresis rule shared by every filter
+	// (zero fields get the adaptive package's defaults).
+	Policy adaptive.Policy
+	// Logf receives operational log lines (mid-stream probe write
+	// failures, autotune decisions); nil means the standard logger.
+	Logf func(format string, args ...any)
 }
 
 // Server is the filter registry plus its HTTP handlers.
@@ -99,6 +143,13 @@ type Server struct {
 	maxBits   uint64
 	totalBits uint64
 	dataDir   string
+	tw        float64
+	policy    adaptive.Policy
+	logf      func(format string, args ...any)
+	// bufs pools the binary data plane's per-request buffers (raw body,
+	// decoded keys, selection vector) so the probe hot path does not
+	// allocate per request.
+	bufs sync.Pool
 	// fileMu serializes snapshot-file publication and removal, so a
 	// snapshot racing a DELETE (or a delete-recreate-snapshot sequence)
 	// can neither resurrect a deleted filter nor clobber a successor's
@@ -112,9 +163,9 @@ type Server struct {
 // itself is the reservation's identity — handlers re-check that the map
 // still holds *their* entry before touching the accounting, so a
 // delete/recreate race can neither resurrect a filter nor leak budget.
+// The filter's configuration lives in f (migrations change it), not here.
 type entry struct {
-	f        *perfilter.Sharded
-	cfg      perfilter.Config
+	f        *perfilter.Adaptive
 	bits     uint64
 	rotating bool
 	created  time.Time
@@ -134,10 +185,35 @@ func New(opts Options) *Server {
 	if totalBits == 0 {
 		totalBits = DefaultMaxTotalBits
 	}
+	tw := opts.Tw
+	if tw == 0 {
+		tw = DefaultTw
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
 	return &Server{
 		filters:  make(map[string]*entry),
 		maxBytes: maxBytes, maxBits: maxBits, totalBits: totalBits,
-		dataDir: opts.DataDir,
+		dataDir: opts.DataDir, tw: tw, policy: opts.Policy.WithDefaults(),
+		logf: logf,
+	}
+}
+
+// adaptiveOptions builds the per-filter adaptive wrapper options: the
+// server owns pacing (autotune) and budget accounting, so the background
+// tuner and the ErrFull auto-grow stay off — saturation surfaces as 507
+// and every size change goes through the accounted migrate path.
+func (s *Server) adaptiveOptions(tw, sigma, budget float64) perfilter.AdaptiveOptions {
+	if tw == 0 {
+		tw = s.tw
+	}
+	return perfilter.AdaptiveOptions{
+		Workload: perfilter.Workload{Tw: tw, Sigma: sigma, BitsPerKeyBudget: budget},
+		Policy:   s.policy,
+		// Shards is set per filter at construction.
+		DisableAutoGrow: true,
 	}
 }
 
@@ -152,6 +228,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/filters/{name}", s.handleStats)
 	mux.HandleFunc("DELETE /v1/filters/{name}", s.handleDelete)
 	mux.HandleFunc("POST /v1/filters/{name}/rotate", s.handleRotate)
+	mux.HandleFunc("GET /v1/filters/{name}/advice", s.handleAdvice)
+	mux.HandleFunc("POST /v1/filters/{name}/migrate", s.handleMigrate)
 	mux.HandleFunc("POST /v1/filters/{name}/snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /v1/filters/{name}/insert", s.handleInsert)
 	mux.HandleFunc("POST /v1/filters/{name}/probe", s.handleProbe)
@@ -177,6 +255,11 @@ type CreateRequest struct {
 	// Cuckoo geometry (kind "cuckoo"); zero = the paper's s=16, b=2.
 	TagBits    uint32 `json:"tag_bits,omitempty"`
 	BucketSize uint32 `json:"bucket_size,omitempty"`
+
+	// Tw seeds the filter's tracked workload: the work saved per pruned
+	// probe, in cycles, which advice/migrate/autotune compare overheads
+	// against. Zero uses Advise.Tw when advising, else the server default.
+	Tw float64 `json:"tw,omitempty"`
 
 	// Advise, when non-nil, overrides Kind/MBits with the cost model's
 	// performance-optimal pick for the workload.
@@ -210,12 +293,13 @@ func (e *entry) info(name string) FilterInfo {
 }
 
 // infoFrom renders a FilterInfo from an already-taken snapshot, so
-// handlers returning both forms report one consistent view.
+// handlers returning both forms report one consistent view. Kind and
+// Config come from the live filter: migrations change them.
 func (e *entry) infoFrom(name string, st perfilter.ShardStats) FilterInfo {
 	return FilterInfo{
 		Name:       name,
 		Config:     e.f.String(),
-		Kind:       e.cfg.Kind.String(),
+		Kind:       e.f.Config().Kind.String(),
 		SizeBits:   st.SizeBits,
 		Shards:     st.Shards,
 		Count:      st.Count,
@@ -341,7 +425,16 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		}
 		s.mu.Unlock()
 	}
-	f, err := perfilter.NewSharded(cfg, mBits, shards)
+	tw, sigma, budget := req.Tw, 0.0, 0.0
+	if req.Advise != nil {
+		if tw == 0 {
+			tw = req.Advise.Tw
+		}
+		sigma, budget = req.Advise.Sigma, req.Advise.BitsPerKey
+	}
+	aOpts := s.adaptiveOptions(tw, sigma, budget)
+	aOpts.Shards = shards
+	f, err := perfilter.NewAdaptive(cfg, mBits, aOpts)
 	if err != nil {
 		release()
 		writeErr(w, http.StatusBadRequest, err)
@@ -354,7 +447,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if actual := f.SizeBits(); actual > bits {
 		bits = actual
 	}
-	e := &entry{f: f, cfg: cfg, bits: bits, created: time.Now().UTC()}
+	e := &entry{f: f, bits: bits, created: time.Now().UTC()}
 	s.mu.Lock()
 	if s.filters[req.Name] != ph {
 		// Deleted (and possibly re-created by someone else) while we
@@ -403,6 +496,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := e.f.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"filter": e.infoFrom(name, st), "per_shard_counts": st.PerShard,
+		"tracked": e.f.Counters(), "key_log_bits": e.f.LogBits(),
 	})
 }
 
@@ -500,6 +594,285 @@ func (s *Server) handleRotate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, e.info(name))
+}
+
+// AdviceSide is the JSON view of one modeled configuration in an advice
+// response.
+type AdviceSide struct {
+	Config       string  `json:"config"`
+	Kind         string  `json:"kind"`
+	MBits        uint64  `json:"mbits"`
+	FPR          float64 `json:"fpr"`
+	LookupCycles float64 `json:"lookup_cycles"`
+	Overhead     float64 `json:"overhead"` // ρ = tl + f·tw
+}
+
+func adviceSide(a perfilter.Advice) AdviceSide {
+	return AdviceSide{
+		Config: a.Config.String(), Kind: a.Config.Kind.String(),
+		MBits: a.MBits, FPR: a.FPR, LookupCycles: a.LookupCycles,
+		Overhead: a.Overhead,
+	}
+}
+
+// AdviceResponse is the advice endpoint's answer: the tracked workload,
+// the deployed configuration's modeled overhead, the re-advised optimum,
+// and the hysteresis verdict, plus the filter's recent re-optimization
+// decisions.
+type AdviceResponse struct {
+	Name         string              `json:"name"`
+	Tracked      adaptive.Counters   `json:"tracked"`
+	N            uint64              `json:"n"`
+	Tw           float64             `json:"tw"`
+	Sigma        float64             `json:"sigma"`
+	Current      AdviceSide          `json:"current"`
+	Best         AdviceSide          `json:"best"`
+	KindChange   bool                `json:"kind_change"`
+	WouldMigrate bool                `json:"would_migrate"`
+	Reason       string              `json:"reason"`
+	Decisions    []adaptive.Decision `json:"decisions,omitempty"`
+}
+
+func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) {
+	name, e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	tw := 0.0 // 0 keeps the filter's configured tw
+	if q := r.URL.Query().Get("tw"); q != "" {
+		v, err := strconv.ParseFloat(q, 64)
+		if err != nil || v < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad tw %q", q))
+			return
+		}
+		tw = v
+	}
+	adv, err := e.f.AdviceTw(tw)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AdviceResponse{
+		Name:    name,
+		Tracked: adv.Counters,
+		N:       adv.Workload.N, Tw: adv.Workload.Tw, Sigma: adv.Workload.Sigma,
+		Current: adviceSide(adv.Current), Best: adviceSide(adv.Best),
+		KindChange: adv.KindChange, WouldMigrate: adv.WouldMigrate,
+		Reason: adv.Reason, Decisions: e.f.Decisions(),
+	})
+}
+
+// MigrateRequest selects the migration target. An empty body applies the
+// advisor's recommendation for the tracked workload when the hysteresis
+// margin clears; Force applies it regardless. Naming a kind (or just
+// mbits) migrates to that explicit target instead — geometry fields work
+// as in CreateRequest, zero mbits keeps the current size.
+type MigrateRequest struct {
+	Force bool `json:"force,omitempty"`
+
+	Kind       string `json:"kind,omitempty"`
+	MBits      uint64 `json:"mbits,omitempty"`
+	K          uint32 `json:"k,omitempty"`
+	BlockBits  uint32 `json:"block_bits,omitempty"`
+	SectorBits uint32 `json:"sector_bits,omitempty"`
+	Groups     uint32 `json:"groups,omitempty"`
+	TagBits    uint32 `json:"tag_bits,omitempty"`
+	BucketSize uint32 `json:"bucket_size,omitempty"`
+}
+
+func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	name, e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req MigrateRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+	}
+	var cfg perfilter.Config
+	var mBits uint64
+	if req.Kind == "" && req.MBits == 0 {
+		// Recommendation mode: act on the advisor's answer.
+		adv, err := e.f.Advice()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		act := adv.WouldMigrate || req.Force
+		if act && adv.Best.Config == adv.Current.Config && adv.Best.MBits == adv.Current.MBits {
+			act = false
+			adv.Reason = "already at the recommended configuration"
+		}
+		if !act {
+			writeJSON(w, http.StatusOK, map[string]any{
+				"migrated": false, "reason": adv.Reason,
+				"current": adviceSide(adv.Current), "best": adviceSide(adv.Best),
+			})
+			return
+		}
+		cfg, mBits = adv.Best.Config, adv.Best.MBits
+	} else {
+		// Explicit mode: a create-style target; empty kind keeps the
+		// current family (with the kind's headline geometry defaults),
+		// zero mbits keeps the current size.
+		cr := CreateRequest{
+			Kind: req.Kind, MBits: req.MBits, K: req.K,
+			BlockBits: req.BlockBits, SectorBits: req.SectorBits,
+			Groups: req.Groups, TagBits: req.TagBits, BucketSize: req.BucketSize,
+		}
+		if cr.Kind == "" {
+			cr.Kind = e.f.Config().Kind.String()
+		}
+		if cr.MBits == 0 {
+			cr.MBits = e.f.SizeBits()
+		}
+		var err error
+		cfg, mBits, _, err = buildConfig(&cr)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	status, body := s.migrateEntry(name, e, cfg, mBits)
+	writeJSON(w, status, body)
+}
+
+// migrateEntry performs one accounted live migration: single-flighted per
+// filter, the size delta reserved against the memory budget up front
+// (mirroring handleRotate) and re-accounted to the built size afterwards.
+func (s *Server) migrateEntry(name string, e *entry, cfg perfilter.Config, mBits uint64) (int, map[string]any) {
+	if mBits > s.maxBits {
+		return http.StatusBadRequest, errBody(fmt.Errorf("mbits %d exceeds the server cap of %d", mBits, s.maxBits))
+	}
+	s.mu.Lock()
+	if s.filters[name] != e {
+		s.mu.Unlock()
+		return http.StatusNotFound, errBody(fmt.Errorf("no filter %q", name))
+	}
+	if e.rotating {
+		s.mu.Unlock()
+		return http.StatusConflict, errBody(fmt.Errorf("filter %q is already rotating", name))
+	}
+	prev := e.bits
+	if mBits > prev && s.usedBits+(mBits-prev) > s.totalBits {
+		avail := remaining(s.totalBits, s.usedBits)
+		s.mu.Unlock()
+		return http.StatusInsufficientStorage,
+			errBody(fmt.Errorf("migrating to %d bits exceeds the server's remaining budget of %d bits", mBits, avail))
+	}
+	s.usedBits += mBits - prev
+	e.bits = mBits
+	e.rotating = true
+	s.mu.Unlock()
+
+	err := e.f.Migrate(cfg, mBits)
+
+	s.mu.Lock()
+	if s.filters[name] == e {
+		if err != nil {
+			s.usedBits += prev - mBits
+			e.bits = prev
+		} else if actual := e.f.SizeBits(); actual > e.bits {
+			// Re-account to the built size (constructors round up).
+			s.usedBits += actual - e.bits
+			e.bits = actual
+		}
+	}
+	e.rotating = false
+	s.mu.Unlock()
+	if err != nil {
+		return http.StatusBadRequest, errBody(err)
+	}
+	return http.StatusOK, map[string]any{
+		"migrated": true, "config": cfg.String(), "mbits": mBits,
+		"filter": e.info(name),
+	}
+}
+
+func errBody(err error) map[string]any {
+	return map[string]any{"error": err.Error()}
+}
+
+// AutotuneResult records one autotune pass's verdict for one filter.
+type AutotuneResult struct {
+	Name     string `json:"name"`
+	Migrated bool   `json:"migrated"`
+	Config   string `json:"config,omitempty"` // post-migration config
+	Reason   string `json:"reason,omitempty"`
+	Err      string `json:"error,omitempty"`
+}
+
+// AutotuneOnce runs one re-optimization sweep over every registered
+// filter: re-advise against each filter's tracked workload and migrate
+// the ones whose modeled win clears the hysteresis margin, within the
+// memory budget. It is the body of the -autotune loop and is exported so
+// operators (and tests) can drive a sweep on demand.
+func (s *Server) AutotuneOnce() []AutotuneResult {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.filters))
+	entries := make([]*entry, 0, len(s.filters))
+	for name, e := range s.filters {
+		if e.f == nil { // in-flight create's placeholder
+			continue
+		}
+		names = append(names, name)
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	results := make([]AutotuneResult, 0, len(names))
+	for i, name := range names {
+		e := entries[i]
+		adv, err := e.f.Advice()
+		if err != nil {
+			results = append(results, AutotuneResult{Name: name, Err: err.Error()})
+			continue
+		}
+		if !adv.WouldMigrate {
+			results = append(results, AutotuneResult{Name: name, Reason: adv.Reason})
+			continue
+		}
+		status, body := s.migrateEntry(name, e, adv.Best.Config, adv.Best.MBits)
+		res := AutotuneResult{Name: name, Reason: adv.Reason}
+		if status == http.StatusOK {
+			res.Migrated = true
+			res.Config = adv.Best.Config.String()
+		} else if msg, ok := body["error"].(string); ok {
+			res.Err = msg
+		}
+		results = append(results, res)
+	}
+	return results
+}
+
+// StartAutotune launches the background control loop: AutotuneOnce every
+// interval until ctx is cancelled. Migrations and failures are logged;
+// quiet sweeps are not.
+func (s *Server) StartAutotune(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				for _, res := range s.AutotuneOnce() {
+					switch {
+					case res.Err != "":
+						s.logf("autotune: %s: %s", res.Name, res.Err)
+					case res.Migrated:
+						s.logf("autotune: %s: migrated to %s (%s)", res.Name, res.Config, res.Reason)
+					}
+				}
+			}
+		}
+	}()
 }
 
 // snapshotSuffix is the on-disk extension for persisted filters.
@@ -662,7 +1035,24 @@ func (s *Server) LoadAll() (int, error) {
 			errs = append(errs, err)
 			continue
 		}
-		f, err := perfilter.UnmarshalSharded(data)
+		// Adaptive envelopes restore the tracked workload and the key log
+		// (so migration keeps working); plain sharded envelopes from
+		// pre-adaptive snapshots are wrapped with an incomplete log —
+		// they track and advise, but refuse to migrate until rotated.
+		var f *perfilter.Adaptive
+		if len(data) >= 4 && binary.LittleEndian.Uint32(data) == perfilter.AdaptiveWireMagic {
+			opts := s.adaptiveOptions(0, 0, 0)
+			// The snapshot's own workload (per-filter tw) outranks the
+			// server default: zero fields defer to the wire values.
+			opts.Workload = perfilter.Workload{}
+			f, err = perfilter.UnmarshalAdaptive(data, opts)
+		} else {
+			var sh *perfilter.Sharded
+			sh, err = perfilter.UnmarshalSharded(data)
+			if err == nil {
+				f = perfilter.NewAdaptiveFrom(sh, s.adaptiveOptions(0, 0, 0))
+			}
+		}
 		if err != nil {
 			errs = append(errs, fmt.Errorf("snapshot %q: %w", de.Name(), err))
 			continue
@@ -673,7 +1063,7 @@ func (s *Server) LoadAll() (int, error) {
 		if info != nil {
 			created = info.ModTime().UTC()
 		}
-		e := &entry{f: f, cfg: f.Config(), bits: bits, created: created}
+		e := &entry{f: f, bits: bits, created: created}
 		s.mu.Lock()
 		switch {
 		case s.filters[name] != nil:
@@ -692,12 +1082,45 @@ func (s *Server) LoadAll() (int, error) {
 	return loaded, errors.Join(errs...)
 }
 
+// probeBuffers is one data-plane request's reusable buffer set: the raw
+// body bytes, the decoded key batch, and (for probes) the selection
+// vector. Pooled on the server so the binary hot path runs allocation-free
+// at steady state.
+type probeBuffers struct {
+	raw  []byte
+	keys []perfilter.Key
+	sel  []uint32
+}
+
+// maxPooledBufBytes caps what a returned buffer set may retain: one
+// maximum-size batch must not pin 16 MiB per pooled object forever.
+const maxPooledBufBytes = 4 << 20
+
+func (s *Server) getBuffers() *probeBuffers {
+	pb, _ := s.bufs.Get().(*probeBuffers)
+	if pb == nil {
+		pb = new(probeBuffers)
+	}
+	return pb
+}
+
+func (s *Server) putBuffers(pb *probeBuffers) {
+	// All three buffers count against the retention cap: a JSON-path probe
+	// never touches raw but can still grow keys/sel to megabytes.
+	if cap(pb.raw)+4*cap(pb.keys)+4*cap(pb.sel) > maxPooledBufBytes {
+		return // oversized one-offs are dropped, not pooled
+	}
+	s.bufs.Put(pb)
+}
+
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	_, e, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
-	keys, err := s.readKeys(r)
+	pb := s.getBuffers()
+	defer s.putBuffers(pb)
+	keys, err := s.readKeys(r, pb)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -718,16 +1141,19 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
-	_, e, ok := s.lookup(w, r)
+	name, e, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
-	keys, err := s.readKeys(r)
+	pb := s.getBuffers()
+	defer s.putBuffers(pb)
+	keys, err := s.readKeys(r, pb)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	sel := e.f.ContainsBatch(keys, make([]uint32, 0, len(keys)))
+	sel := e.f.ContainsBatch(keys, pb.sel[:0])
+	pb.sel = sel
 	if r.URL.Query().Get("format") == "json" {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"probed": len(keys), "positions": sel,
@@ -738,12 +1164,26 @@ func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Probed-Keys", fmt.Sprint(len(keys)))
 	w.Header().Set("X-Selected", fmt.Sprint(len(sel)))
 	w.WriteHeader(http.StatusOK)
-	writeU32s(w, sel)
+	if err := writeU32s(w, sel); err != nil {
+		// The status line is gone; aborting leaves the client a short
+		// read (Content-Length mismatch / cut connection), but the
+		// truncation must at least be visible server-side instead of
+		// passing silently for a complete response.
+		s.logf("server: probe %s: selection stream aborted after write error: %v", name, err)
+	}
 }
 
-// readKeys decodes the data-plane key batch: raw little-endian uint32s,
-// or {"keys": [...]} when the request is JSON.
-func (s *Server) readKeys(r *http.Request) ([]perfilter.Key, error) {
+// presizeHintCap bounds how much readKeys preallocates from the declared
+// Content-Length alone. A client whose header lies high (say 16 MiB for a
+// ten-byte body) gets its capacity hint clamped here; the buffer still
+// grows to any true body size up to the batch limit.
+const presizeHintCap = 1 << 20
+
+// readKeys decodes the data-plane key batch into pb's pooled buffers: raw
+// little-endian uint32s, or {"keys": [...]} when the request is JSON (the
+// curl-friendly path, which allocates). The returned slice aliases pb and
+// is valid until the buffers are put back.
+func (s *Server) readKeys(r *http.Request, pb *probeBuffers) ([]perfilter.Key, error) {
 	body := io.LimitReader(r.Body, s.maxBytes+1)
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
 		var req struct {
@@ -754,48 +1194,67 @@ func (s *Server) readKeys(r *http.Request) ([]perfilter.Key, error) {
 		}
 		return req.Keys, nil
 	}
-	// Presize from Content-Length so a full-size batch is read in one
-	// allocation instead of ReadAll's doubling copies.
+	// Presize from Content-Length so a typical batch is read without
+	// doubling copies — but clamp the hint defensively: it is attacker
+	// controlled and may bear no relation to the actual body.
 	capHint := int64(64 << 10)
-	if n := r.ContentLength; n >= 0 {
+	if n := r.ContentLength; n > 0 {
 		capHint = n + 1
 	}
 	if capHint > s.maxBytes+1 {
 		capHint = s.maxBytes + 1
 	}
-	buf := bytes.NewBuffer(make([]byte, 0, capHint))
+	if capHint > presizeHintCap {
+		capHint = presizeHintCap
+	}
+	if int64(cap(pb.raw)) < capHint {
+		pb.raw = make([]byte, 0, capHint)
+	}
+	buf := bytes.NewBuffer(pb.raw[:0])
 	if _, err := io.Copy(buf, body); err != nil {
 		return nil, err
 	}
 	raw := buf.Bytes()
+	pb.raw = raw[:0] // keep any growth for the next request
 	if int64(len(raw)) > s.maxBytes {
 		return nil, fmt.Errorf("batch exceeds %d bytes", s.maxBytes)
 	}
 	if len(raw)%4 != 0 {
 		return nil, fmt.Errorf("binary batch length %d is not a multiple of 4 (little-endian uint32 keys)", len(raw))
 	}
-	keys := make([]perfilter.Key, len(raw)/4)
+	n := len(raw) / 4
+	if cap(pb.keys) < n {
+		pb.keys = make([]perfilter.Key, n)
+	}
+	keys := pb.keys[:n]
 	for i := range keys {
 		keys[i] = binary.LittleEndian.Uint32(raw[4*i:])
 	}
+	pb.keys = keys
 	return keys, nil
 }
 
-// writeU32s streams values as little-endian uint32s.
-func writeU32s(w io.Writer, vals []uint32) {
+// writeU32s streams values as little-endian uint32s. It returns the first
+// write error — previously errors were swallowed mid-stream, leaving the
+// client a silently truncated selection vector the caller never learned
+// about.
+func writeU32s(w io.Writer, vals []uint32) error {
 	buf := make([]byte, 0, 4096)
 	for _, v := range vals {
 		buf = binary.LittleEndian.AppendUint32(buf, v)
 		if len(buf) == cap(buf) {
 			if _, err := w.Write(buf); err != nil {
-				return
+				return err
 			}
 			buf = buf[:0]
 		}
 	}
 	if len(buf) > 0 {
-		w.Write(buf)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // remaining is total-used clamped at zero: rounding-up re-accounting (the

@@ -436,6 +436,228 @@ func TestSnapshotRestartEquivalence(t *testing.T) {
 	}
 }
 
+// TestAdviceAndMigrateEndpoints drives the adaptive control plane: the
+// advice endpoint reports the tracked workload and the re-advised
+// optimum, and the migrate endpoint applies it — including a kind change
+// — losslessly and with the memory budget re-accounted.
+func TestAdviceAndMigrateEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	// A cuckoo filter at a tw where bloom is optimal for the workload it
+	// will actually see: the advisor should want to switch kinds.
+	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{
+		Name: "adapt", Kind: "cuckoo", MBits: 1 << 21, Shards: 2, Tw: 100,
+	}, http.StatusCreated)
+
+	r := rng.NewMT19937(77)
+	keys := make([]uint32, 50_000)
+	for i := range keys {
+		keys[i] = r.Uint32()
+	}
+	resp := postBinary(t, ts.URL+"/v1/filters/adapt/insert", keys)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d", resp.StatusCode)
+	}
+	resp = postBinary(t, ts.URL+"/v1/filters/adapt/probe", keys[:4096])
+	resp.Body.Close()
+
+	adv := doJSON(t, "GET", ts.URL+"/v1/filters/adapt/advice", nil, http.StatusOK)
+	if adv["n"].(float64) != float64(len(keys)) {
+		t.Fatalf("advice n = %v, want %d", adv["n"], len(keys))
+	}
+	if adv["tw"].(float64) != 100 {
+		t.Fatalf("advice tw = %v, want 100", adv["tw"])
+	}
+	cur := adv["current"].(map[string]any)
+	best := adv["best"].(map[string]any)
+	if cur["kind"] != "cuckoo" {
+		t.Fatalf("current kind %v", cur["kind"])
+	}
+	if best["kind"] != "bloom" || adv["kind_change"] != true {
+		t.Fatalf("at tw=100 the advisor should recommend bloom, got %v (kind_change %v)",
+			best["kind"], adv["kind_change"])
+	}
+	if cur["overhead"].(float64) <= best["overhead"].(float64) {
+		t.Fatalf("recommended overhead %v not below current %v", best["overhead"], cur["overhead"])
+	}
+	// The tw override explores a different regime without mutating state.
+	explore := doJSON(t, "GET", ts.URL+"/v1/filters/adapt/advice?tw=100000", nil, http.StatusOK)
+	if explore["tw"].(float64) != 100000 {
+		t.Fatalf("override tw = %v", explore["tw"])
+	}
+	doJSON(t, "GET", ts.URL+"/v1/filters/adapt/advice?tw=bogus", nil, http.StatusBadRequest)
+
+	// Migrate on recommendation (forced, in case hysteresis holds).
+	out := doJSON(t, "POST", ts.URL+"/v1/filters/adapt/migrate", map[string]any{"force": true}, http.StatusOK)
+	if out["migrated"] != true {
+		t.Fatalf("migrate: %v", out)
+	}
+	info := doJSON(t, "GET", ts.URL+"/v1/filters/adapt", nil, http.StatusOK)
+	if kind := info["filter"].(map[string]any)["kind"]; kind != "bloom" {
+		t.Fatalf("post-migration kind %v, want bloom", kind)
+	}
+	// Zero false negatives across the kind change.
+	resp = postBinary(t, ts.URL+"/v1/filters/adapt/probe", keys)
+	buf := new(bytes.Buffer)
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if buf.Len() != 4*len(keys) {
+		t.Fatalf("%d of %d keys selected after migration", buf.Len()/4, len(keys))
+	}
+	// A second recommendation-mode migrate is a no-op: already optimal.
+	out = doJSON(t, "POST", ts.URL+"/v1/filters/adapt/migrate", nil, http.StatusOK)
+	if out["migrated"] != false {
+		t.Fatalf("repeat migrate: %v", out)
+	}
+
+	// Explicit-target mode with an oversized request hits the cap.
+	doJSON(t, "POST", ts.URL+"/v1/filters/adapt/migrate",
+		MigrateRequest{Kind: "bloom", MBits: 1 << 40}, http.StatusBadRequest)
+	// Explicit resize within budget works and preserves contents.
+	out = doJSON(t, "POST", ts.URL+"/v1/filters/adapt/migrate",
+		MigrateRequest{MBits: 1 << 22}, http.StatusOK)
+	if out["migrated"] != true {
+		t.Fatalf("resize migrate: %v", out)
+	}
+	resp = postBinary(t, ts.URL+"/v1/filters/adapt/probe", keys)
+	buf.Reset()
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if buf.Len() != 4*len(keys) {
+		t.Fatalf("%d of %d keys selected after resize", buf.Len()/4, len(keys))
+	}
+	doJSON(t, "GET", ts.URL+"/v1/filters/nope/advice", nil, http.StatusNotFound)
+	doJSON(t, "POST", ts.URL+"/v1/filters/nope/migrate", nil, http.StatusNotFound)
+}
+
+// TestMigrateBudgetAccounting pins that migrations reserve against the
+// total memory budget like rotations do.
+func TestMigrateBudgetAccounting(t *testing.T) {
+	ts := httptest.NewServer(New(Options{MaxTotalBits: 3 << 20}).Handler())
+	defer ts.Close()
+	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{Name: "a", Kind: "bloom", MBits: 1 << 20}, http.StatusCreated)
+	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{Name: "b", Kind: "bloom", MBits: 1 << 20}, http.StatusCreated)
+	// Growing a past the remaining budget must be refused...
+	doJSON(t, "POST", ts.URL+"/v1/filters/a/migrate",
+		MigrateRequest{MBits: 3 << 20}, http.StatusInsufficientStorage)
+	// ...while a fitting growth is accepted and accounted.
+	doJSON(t, "POST", ts.URL+"/v1/filters/a/migrate",
+		MigrateRequest{MBits: 2 << 20}, http.StatusOK)
+	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{Name: "c", Kind: "bloom", MBits: 1 << 20}, http.StatusInsufficientStorage)
+	// Shrinking a returns budget.
+	doJSON(t, "POST", ts.URL+"/v1/filters/a/migrate",
+		MigrateRequest{MBits: 1 << 20}, http.StatusOK)
+	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{Name: "c", Kind: "bloom", MBits: 1 << 20}, http.StatusCreated)
+}
+
+// TestAutotuneOnce drives the server-side control loop: a filter whose
+// tracked workload has outgrown its configuration is migrated by one
+// autotune sweep, keys intact.
+func TestAutotuneOnce(t *testing.T) {
+	reg := New(Options{})
+	ts := httptest.NewServer(reg.Handler())
+	defer ts.Close()
+	// Sized and advised for 4k keys; it will see 200k.
+	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{
+		Name:   "grower",
+		Advise: &AdviseRequest{N: 4096, Tw: 100, BitsPerKey: 16},
+	}, http.StatusCreated)
+	r := rng.NewMT19937(99)
+	keys := make([]uint32, 200_000)
+	for i := range keys {
+		keys[i] = r.Uint32()
+	}
+	// Insert in chunks; tolerate 507s (the server does not auto-grow on
+	// the insert path — that is exactly what autotune is for).
+	for lo := 0; lo < len(keys); lo += 20_000 {
+		resp := postBinary(t, ts.URL+"/v1/filters/grower/insert", keys[lo:lo+20_000])
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusInsufficientStorage {
+			results := reg.AutotuneOnce()
+			if len(results) != 1 {
+				t.Fatalf("autotune results: %+v", results)
+			}
+			if results[0].Err != "" {
+				t.Fatalf("autotune: %s", results[0].Err)
+			}
+			// Replay the chunk after the grow (insert order within the
+			// chunk does not matter for membership).
+			resp = postBinary(t, ts.URL+"/v1/filters/grower/insert", keys[lo:lo+20_000])
+			resp.Body.Close()
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("insert at %d: status %d", lo, resp.StatusCode)
+		}
+	}
+	migrated := false
+	for i := 0; i < 3 && !migrated; i++ {
+		for _, res := range reg.AutotuneOnce() {
+			if res.Err != "" {
+				t.Fatalf("autotune: %s", res.Err)
+			}
+			migrated = migrated || res.Migrated
+		}
+	}
+	if !migrated {
+		t.Fatal("autotune never migrated the outgrown filter")
+	}
+	// Every acknowledged key is still present.
+	resp := postBinary(t, ts.URL+"/v1/filters/grower/probe", keys)
+	buf := new(bytes.Buffer)
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if buf.Len() != 4*len(keys) {
+		t.Fatalf("%d of %d keys present after autotune migration", buf.Len()/4, len(keys))
+	}
+	// The post-migration size must be accounted: a fresh create that
+	// would collide with the grown usage is still budget-checked (smoke:
+	// usedBits is consistent enough to not underflow on delete).
+	doJSON(t, "DELETE", ts.URL+"/v1/filters/grower", nil, http.StatusOK)
+}
+
+// BenchmarkProbeHandlerAllocs measures allocations on the binary probe
+// hot path (the satellite fix pools the body, key and selection buffers;
+// before pooling every request allocated all three).
+func BenchmarkProbeHandlerAllocs(b *testing.B) {
+	s := New(Options{})
+	handler := s.Handler()
+	// Create a filter and fill it through the handler stack.
+	createBody, _ := json.Marshal(CreateRequest{Name: "bench", Kind: "bloom", MBits: 1 << 22, Shards: 2})
+	req := httptest.NewRequest("POST", "/v1/filters", bytes.NewReader(createBody))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, req)
+	if rec.Code != http.StatusCreated {
+		b.Fatalf("create: %d %s", rec.Code, rec.Body)
+	}
+	r := rng.NewMT19937(123)
+	keys := make([]uint32, 4096)
+	for i := range keys {
+		keys[i] = r.Uint32()
+	}
+	body := leBytes(keys)
+	ins := httptest.NewRequest("POST", "/v1/filters/bench/insert", bytes.NewReader(body))
+	ins.Header.Set("Content-Type", "application/octet-stream")
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, ins)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("insert: %d", rec.Code)
+	}
+
+	rdr := bytes.NewReader(body)
+	rec = httptest.NewRecorder()
+	rec.Body = bytes.NewBuffer(make([]byte, 0, 4*len(keys)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rdr.Reset(body)
+		rec.Body.Reset()
+		req := httptest.NewRequest("POST", "/v1/filters/bench/probe", rdr)
+		req.Header.Set("Content-Type", "application/octet-stream")
+		handler.ServeHTTP(rec, req)
+	}
+}
+
 // TestSnapshotWithoutDataDir pins the error path: snapshotting on a
 // server with no data dir is a client error, not a crash.
 func TestSnapshotWithoutDataDir(t *testing.T) {

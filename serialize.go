@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"perfilter/internal/adaptive"
 	"perfilter/internal/blocked"
 	"perfilter/internal/bloom"
 	"perfilter/internal/counting"
@@ -26,7 +27,20 @@ import (
 // sharded filter's envelope (per-kind payloads follow per shard).
 const ShardedWireMagic = 0x70664C50 // "pfLP"
 
+// AdaptiveWireMagic is the first little-endian uint32 of a serialized
+// adaptive filter: workload counters and the key log, wrapped around an
+// inner sharded envelope. Persisting the log keeps restored filters fully
+// migratable — without it a restored approximate filter has no replay
+// source and kind changes would have to be refused.
+const AdaptiveWireMagic = 0x70664C41 // "pfLA"
+
 const (
+	adaptiveWireVersion = 1
+	// adaptive envelope header: magic u32, version u8, flags u8 (bit0:
+	// log complete, bit1: log present), reserved u16, tw f64, sigma f64,
+	// bits-per-key budget f64, four workload counters u64, log length u64.
+	adaptiveHeaderLen = 4 + 1 + 1 + 2 + 3*8 + 4*8 + 8
+
 	shardedWireVersion = 1
 	// envelope header: magic u32, version u8, kind u8, magic-flag u8,
 	// reserved u8, seven u32 geometry fields, perShardBits u64, seq u64,
@@ -67,6 +81,8 @@ func Marshal(f Filter) ([]byte, error) {
 		return v.f.MarshalBinary()
 	case *Sharded:
 		return v.marshalEnvelope()
+	case *Adaptive:
+		return v.marshalAdaptive()
 	default:
 		return nil, fmt.Errorf("perfilter: %T does not serialize", f)
 	}
@@ -120,6 +136,8 @@ func Unmarshal(data []byte) (Filter, error) {
 		return &ScalableBloomFilter{f}, nil
 	case ShardedWireMagic:
 		return UnmarshalSharded(data)
+	case AdaptiveWireMagic:
+		return UnmarshalAdaptive(data, AdaptiveOptions{})
 	default:
 		return nil, fmt.Errorf("perfilter: unrecognized filter encoding (magic %#08x)",
 			binary.LittleEndian.Uint32(data))
@@ -273,4 +291,108 @@ func UnmarshalSharded(data []byte) (*Sharded, error) {
 	}
 	sh.s = s
 	return sh, nil
+}
+
+// marshalAdaptive serializes the adaptive wrapper: the configured workload
+// hints, the tracked counters, the key log and the inner sharded envelope.
+// The inner envelope is captured first and the log after it, so the log is
+// always a superset of the envelope's keys (a writer appends to the log
+// before inserting) and the restored pair keeps the migration guarantee.
+func (a *Adaptive) marshalAdaptive() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	inner, err := a.s.marshalEnvelope()
+	if err != nil {
+		return nil, err
+	}
+	var keys []Key
+	flags := uint8(0)
+	if log := a.log.Load(); log != nil {
+		flags |= 2
+		if a.logComplete.Load() {
+			flags |= 1
+		}
+		keys = log.Snapshot().Keys()
+	}
+	c := a.stats.Snapshot()
+	w := a.opts.Workload
+	out := make([]byte, adaptiveHeaderLen, adaptiveHeaderLen+4*len(keys)+len(inner))
+	le := binary.LittleEndian
+	le.PutUint32(out[0:], AdaptiveWireMagic)
+	out[4] = adaptiveWireVersion
+	out[5] = flags
+	le.PutUint64(out[8:], math.Float64bits(w.Tw))
+	le.PutUint64(out[16:], math.Float64bits(w.Sigma))
+	le.PutUint64(out[24:], math.Float64bits(w.BitsPerKeyBudget))
+	le.PutUint64(out[32:], c.Inserts)
+	le.PutUint64(out[40:], c.Probes)
+	le.PutUint64(out[48:], c.Positives)
+	le.PutUint64(out[56:], c.Batches)
+	le.PutUint64(out[64:], uint64(len(keys)))
+	for _, k := range keys {
+		out = le.AppendUint32(out, k)
+	}
+	return append(out, inner...), nil
+}
+
+// UnmarshalAdaptive reconstructs an adaptive filter from a Marshal
+// envelope: the inner sharded filter (probe results byte-identical to the
+// original's), the workload counters, and the key log, so the restored
+// filter can keep migrating losslessly. opts supplies the runtime pieces
+// that are not persisted (policy, tuner interval, decision history depth);
+// zero workload fields fall back to the persisted ones.
+func UnmarshalAdaptive(data []byte, opts AdaptiveOptions) (*Adaptive, error) {
+	if len(data) < adaptiveHeaderLen {
+		return nil, fmt.Errorf("perfilter: truncated adaptive envelope")
+	}
+	le := binary.LittleEndian
+	if le.Uint32(data[0:]) != AdaptiveWireMagic {
+		return nil, fmt.Errorf("perfilter: bad adaptive envelope magic")
+	}
+	if data[4] != adaptiveWireVersion {
+		return nil, fmt.Errorf("perfilter: unsupported adaptive envelope version %d", data[4])
+	}
+	flags := data[5]
+	tw := math.Float64frombits(le.Uint64(data[8:]))
+	sigma := math.Float64frombits(le.Uint64(data[16:]))
+	budget := math.Float64frombits(le.Uint64(data[24:]))
+	counters := adaptive.Counters{
+		Inserts:   le.Uint64(data[32:]),
+		Probes:    le.Uint64(data[40:]),
+		Positives: le.Uint64(data[48:]),
+		Batches:   le.Uint64(data[56:]),
+	}
+	logLen := le.Uint64(data[64:])
+	rest := data[adaptiveHeaderLen:]
+	if uint64(len(rest))/4 < logLen {
+		return nil, fmt.Errorf("perfilter: truncated adaptive key log (%d of %d keys)", len(rest)/4, logLen)
+	}
+	keys := make([]Key, logLen)
+	for i := range keys {
+		keys[i] = le.Uint32(rest[4*i:])
+	}
+	inner, err := UnmarshalSharded(rest[4*logLen:])
+	if err != nil {
+		return nil, err
+	}
+	if opts.Workload.Tw == 0 {
+		opts.Workload.Tw = tw
+	}
+	if opts.Workload.Sigma == 0 {
+		opts.Workload.Sigma = sigma
+	}
+	if opts.Workload.BitsPerKeyBudget == 0 {
+		opts.Workload.BitsPerKeyBudget = budget
+	}
+	hadLog := flags&2 != 0
+	complete := flags&1 != 0
+	// A restored filter whose snapshot carried no log (or an incomplete
+	// one) gets a fresh, incomplete log: it can track and advise but not
+	// migrate until Reset.
+	a := newAdaptive(inner, opts, hadLog && complete)
+	if log := a.log.Load(); log != nil && hadLog {
+		log.AppendBatch(keys)
+	}
+	a.stats.Restore(counters)
+	return a, nil
 }
