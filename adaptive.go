@@ -86,6 +86,12 @@ type Adaptive struct {
 	mu            sync.Mutex
 	decisions     []adaptive.Decision
 	lastMigration time.Time
+	// baseline is the counter snapshot at the last migration (zero until
+	// then, and after clearing rotations/resets). The control loop
+	// evaluates the workload over the delta since this baseline, so the
+	// read-mostly gate for the immutable xor family reflects the current
+	// generation's traffic, not a long-dead write burst. Guarded by mu.
+	baseline adaptive.Counters
 }
 
 // NewAdaptive builds an adaptive filter starting from the given
@@ -306,6 +312,7 @@ func (a *Adaptive) Reset() {
 	}
 	a.s.Reset()
 	a.stats.Reset()
+	a.baseline = adaptive.Counters{}
 	if a.log.Load() != nil {
 		a.logComplete.Store(true)
 	}
@@ -331,6 +338,19 @@ func (a *Adaptive) Stats() ShardStats { return a.s.Stats() }
 
 // Counters returns a snapshot of the tracked workload.
 func (a *Adaptive) Counters() adaptive.Counters { return a.stats.Snapshot() }
+
+// WorkloadWindow returns the tracked counters since the last migration —
+// the window the control loop evaluates — and whether that window
+// currently qualifies as read-mostly (insert fraction at or below
+// ReadMostlyMaxInsertFraction), which is what makes the immutable xor
+// family eligible for this filter.
+func (a *Adaptive) WorkloadWindow() (adaptive.Counters, bool) {
+	a.mu.Lock()
+	baseline := a.baseline
+	a.mu.Unlock()
+	delta := a.stats.Snapshot().Sub(baseline)
+	return delta, delta.InsertFraction() <= ReadMostlyMaxInsertFraction
+}
 
 // Config returns the currently served configuration (migrations change it).
 func (a *Adaptive) Config() Config { return a.s.Config() }
@@ -359,6 +379,7 @@ func (a *Adaptive) Rotate(mBits uint64, fill func(insert func(Key) error) error)
 			return err
 		}
 		a.stats.Reset()
+		a.baseline = adaptive.Counters{}
 		return nil
 	}
 	fresh := new(adaptive.KeyLog)
@@ -388,6 +409,7 @@ func (a *Adaptive) Rotate(mBits uint64, fill func(insert func(Key) error) error)
 		return err
 	}
 	a.stats.Reset()
+	a.baseline = adaptive.Counters{}
 	a.logComplete.Store(true)
 	return nil
 }
@@ -399,15 +421,20 @@ func (a *Adaptive) canMigrate() bool { return a.log.Load() != nil && a.logComple
 func (a *Adaptive) autoGrows() bool { return !a.opts.DisableAutoGrow && a.canMigrate() }
 
 // workload returns the observed workload: the configured Tw/budget with
-// the tracked n and σ substituted in.
-func (a *Adaptive) workload() Workload {
+// the tracked n, σ and read-mostliness substituted in. The σ and insert
+// fraction come from the counter deltas since the given baseline (the
+// last migration), so a filter that long ago absorbed its build burst
+// and now only serves probes qualifies as read-mostly — which is what
+// makes the immutable xor family enumerable for it.
+func (a *Adaptive) workload(baseline adaptive.Counters) Workload {
 	w := a.opts.Workload
-	c := a.stats.Snapshot()
+	delta := a.stats.Snapshot().Sub(baseline)
 	w.N = a.s.Count()
 	if w.N == 0 {
 		w.N = 1
 	}
-	w.Sigma = c.Sigma(w.Sigma)
+	w.Sigma = delta.Sigma(w.Sigma)
+	w.ReadMostly = delta.InsertFraction() <= ReadMostlyMaxInsertFraction
 	return w
 }
 
@@ -417,6 +444,10 @@ func (a *Adaptive) workload() Workload {
 type AdaptiveAdvice struct {
 	// Counters is the tracked workload at evaluation time.
 	Counters adaptive.Counters
+	// Window is the tracked workload since the last migration (equal to
+	// Counters until one happens) — the slice the σ estimate and the
+	// read-mostly gate are computed from.
+	Window adaptive.Counters
 	// Workload is the advisory input derived from it.
 	Workload Workload
 	// Current models the deployed configuration at its actual size.
@@ -441,13 +472,13 @@ func (a *Adaptive) Advice() (AdaptiveAdvice, error) { return a.AdviceTw(0) }
 // saved this much?".
 func (a *Adaptive) AdviceTw(tw float64) (AdaptiveAdvice, error) {
 	a.mu.Lock()
-	lastMigration := a.lastMigration
+	lastMigration, baseline := a.lastMigration, a.baseline
 	a.mu.Unlock()
-	return a.adviceAt(lastMigration, tw)
+	return a.adviceAt(lastMigration, baseline, tw)
 }
 
-func (a *Adaptive) adviceAt(lastMigration time.Time, tw float64) (AdaptiveAdvice, error) {
-	w := a.workload()
+func (a *Adaptive) adviceAt(lastMigration time.Time, baseline adaptive.Counters, tw float64) (AdaptiveAdvice, error) {
+	w := a.workload(baseline)
 	if tw > 0 {
 		w.Tw = tw
 	}
@@ -459,8 +490,10 @@ func (a *Adaptive) adviceAt(lastMigration time.Time, tw float64) (AdaptiveAdvice
 	if err != nil {
 		return AdaptiveAdvice{}, err
 	}
+	counters := a.stats.Snapshot()
 	adv := AdaptiveAdvice{
-		Counters:   a.stats.Snapshot(),
+		Counters:   counters,
+		Window:     counters.Sub(baseline),
 		Workload:   w,
 		Current:    cur,
 		Best:       best,
@@ -471,6 +504,17 @@ func (a *Adaptive) adviceAt(lastMigration time.Time, tw float64) (AdaptiveAdvice
 		sinceLast = time.Since(lastMigration)
 	}
 	ok, reason := a.opts.Policy.ShouldMigrate(cur.Overhead, best.Overhead, adv.Counters.Inserts, sinceLast)
+	if !ok && cur.Config.Kind == Xor && !w.ReadMostly && best.Config.Kind != Xor &&
+		adv.Window.Inserts >= a.opts.Policy.MinInserts &&
+		a.opts.Policy.CooldownCleared(sinceLast) {
+		// Writes resumed on an immutable filter: the deployed xor table
+		// cannot absorb them (they pile up in overflow buffers and the
+		// key log), so move back to a mutable family even when the
+		// modeled ρ gap alone would not clear the hysteresis margin.
+		ok = true
+		reason = fmt.Sprintf("writes resumed on an immutable filter (%d inserts, %.1f%% of the window)",
+			adv.Window.Inserts, adv.Window.InsertFraction()*100)
+	}
 	if ok && best.Config == cur.Config && best.MBits == cur.MBits {
 		ok, reason = false, "already at the recommended configuration"
 	}
@@ -488,7 +532,7 @@ func (a *Adaptive) adviceAt(lastMigration time.Time, tw float64) (AdaptiveAdvice
 func (a *Adaptive) Reoptimize() (adaptive.Decision, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	adv, err := a.adviceAt(a.lastMigration, 0)
+	adv, err := a.adviceAt(a.lastMigration, a.baseline, 0)
 	if err != nil {
 		return adaptive.Decision{}, err
 	}
@@ -535,15 +579,27 @@ func (a *Adaptive) Migrate(cfg Config, mBits uint64) error {
 // observes the staging pointer and dual-writes itself. (Snapshotting
 // before the publication would leave a gap where a whole append+insert
 // could fall between the two.) The replay is deduplicated so a
-// multiply-inserted key cannot saturate a cuckoo bucket.
+// multiply-inserted key cannot saturate a cuckoo bucket — and so a
+// duplicated key cannot make an xor target's peeling unsolvable.
+//
+// An immutable (xor) target needs no special path here: the staged
+// shards buffer the replayed keys and the sharded rotation seals them
+// into solved tables before the swap; writes racing the window land in
+// the shards' overflow buffers and stay queryable.
 func (a *Adaptive) migrateLocked(cfg Config, mBits uint64) error {
 	if !a.canMigrate() {
 		return fmt.Errorf("perfilter: adaptive filter cannot migrate without a complete key log")
 	}
 	log := a.log.Load()
-	return a.s.Migrate(cfg, mBits, func(insert func(Key) error) error {
+	if err := a.s.Migrate(cfg, mBits, func(insert func(Key) error) error {
 		return log.Snapshot().Replay(insert, true)
-	})
+	}); err != nil {
+		return err
+	}
+	// Open a fresh evaluation window: σ and the read-mostly gate are
+	// computed over traffic since this migration.
+	a.baseline = a.stats.Snapshot()
+	return nil
 }
 
 // recoverFull is the ErrFull emergency path: grow to the advised size for
@@ -560,8 +616,11 @@ func (a *Adaptive) recoverFull(sawBits, incoming uint64) (bool, error) {
 	if a.s.SizeBits() > sawBits {
 		return false, nil // a concurrent recovery already grew the filter
 	}
-	w := a.workload()
+	w := a.workload(a.baseline)
 	w.N = 2 * (w.N + incoming)
+	// An emergency grow is triggered by inserts, so never pick an
+	// immutable target whatever the window's fraction says.
+	w.ReadMostly = false
 	prev := a.s.Config()
 	cfg, mBits := prev, 2*sawBits
 	if adv, err := Advise(w); err == nil && adv.MBits > sawBits {

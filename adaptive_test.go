@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -502,5 +503,271 @@ func TestAdaptiveRotateClearsWithoutResurrection(t *testing.T) {
 	}
 	if c := a.Counters(); c.Inserts != 0 {
 		t.Fatalf("counters survived Reset: %+v", c)
+	}
+}
+
+// TestAdaptiveXorMigrationLosslessUnderWriters proves the immutable
+// family is a first-class migration target: concurrent writers hammer
+// inserts while the filter migrates Bloom→Xor (the staged xor shards are
+// solved from the key-log replay and sealed inside the rotation window)
+// and later Xor→Bloom (writes "resume" onto a mutable family). The
+// guarantees checked, with -race:
+//
+//   - zero false negatives against the key log at the end — no
+//     acknowledged write is lost by either migration;
+//   - keys acknowledged while the Xor generation was live are queryable
+//     after the next migration (the acceptance bar; the overflow path in
+//     fact makes them queryable immediately, which is also asserted);
+//   - the member selection vector over early keys is byte-stable across
+//     both migrations;
+//   - batch and scalar probes agree on the sealed xor generation.
+func TestAdaptiveXorMigrationLosslessUnderWriters(t *testing.T) {
+	const writers = 4
+	perWriter := 30_000
+	if testing.Short() {
+		perWriter = 8_000
+	}
+	total := writers * perWriter
+	const shards = 4
+	mBloom := uint64(16 * total)
+	xorCfg := Config{Kind: Xor, FingerprintBits: 8}
+
+	a, err := NewAdaptive(adaptiveBloomCfg, mBloom, AdaptiveOptions{
+		Workload: Workload{Tw: 1 << 20},
+		Shards:   shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var progress [writers]atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			batch := make([]Key, 0, 32)
+			for i := 0; i < perWriter; i++ {
+				k := Key(i*writers + w)
+				if i%5 == 4 {
+					batch = append(batch[:0], k)
+					if _, err := a.InsertBatch(batch); err != nil {
+						errCh <- err
+						return
+					}
+				} else if err := a.Insert(k); err != nil {
+					errCh <- err
+					return
+				}
+				progress[w].Store(int64(i + 1))
+			}
+		}(w)
+	}
+	waitFor := func(minIters int) {
+		for {
+			done := true
+			for w := range progress {
+				if progress[w].Load() < int64(minIters) {
+					done = false
+				}
+			}
+			if done {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	waitFor(perWriter / 4)
+	fixed := make([]Key, writers*(perWriter/8))
+	for i := range fixed {
+		fixed[i] = Key(i)
+	}
+	selBefore := a.ContainsBatch(fixed, nil)
+	if len(selBefore) != len(fixed) {
+		t.Fatalf("pre-migration: %d of %d members selected", len(selBefore), len(fixed))
+	}
+
+	// Bloom→Xor under live writers: the key-log snapshot is replayed into
+	// staged xor shards, which are sealed before the swap; dual-writes
+	// racing the window land in pending/overflow buffers.
+	if err := a.Migrate(xorCfg, 0); err != nil {
+		t.Fatalf("bloom→xor: %v", err)
+	}
+	if got := a.Config().Kind; got != Xor {
+		t.Fatalf("deployed kind %v after migration, want Xor", got)
+	}
+	selMid := a.ContainsBatch(fixed, nil)
+	if !bytes.Equal(selBytes(selBefore), selBytes(selMid)) {
+		t.Fatal("member selection vector changed across bloom→xor migration")
+	}
+
+	// Writes arriving while the Xor generation is live: a distinct key
+	// range no writer touches, inserted mid-generation.
+	xorEra := make([]Key, 1024)
+	for i := range xorEra {
+		xorEra[i] = Key(1_000_000_000 + i)
+	}
+	if _, err := a.InsertBatch(xorEra); err != nil {
+		t.Fatalf("insert during xor generation: %v", err)
+	}
+	if sel := a.ContainsBatch(xorEra, nil); len(sel) != len(xorEra) {
+		t.Fatalf("only %d of %d xor-era inserts queryable while xor is live", len(sel), len(xorEra))
+	}
+
+	// Batch/scalar parity on the sealed generation. Writers are still
+	// running, so the probe set must be membership-stable: established
+	// members plus keys from a range no writer ever touches (a racing
+	// insert between the two probe passes would otherwise legitimately
+	// flip an answer).
+	rng := rand.New(rand.NewSource(7))
+	mixed := make([]Key, 4096)
+	for i := range mixed {
+		if i%2 == 0 {
+			mixed[i] = fixed[rng.Intn(len(fixed))]
+		} else {
+			mixed[i] = Key(1<<31 + rng.Intn(1<<20))
+		}
+	}
+	batchSel := a.ContainsBatch(mixed, nil)
+	var scalarSel []uint32
+	for i, k := range mixed {
+		if a.Contains(k) {
+			scalarSel = append(scalarSel, uint32(i))
+		}
+	}
+	if !bytes.Equal(selBytes(batchSel), selBytes(scalarSel)) {
+		t.Fatal("ContainsBatch disagrees with scalar Contains on the xor generation")
+	}
+
+	waitFor(perWriter / 2)
+	// Xor→Bloom under live writers: writes resumed, move back to a
+	// mutable family. The replay covers the sealed tables' keys, the
+	// overflow buffers and every dual-write.
+	if err := a.Migrate(adaptiveBloomCfg, mBloom); err != nil {
+		t.Fatalf("xor→bloom: %v", err)
+	}
+	selAfter := a.ContainsBatch(fixed, nil)
+	if !bytes.Equal(selBytes(selBefore), selBytes(selAfter)) {
+		t.Fatal("member selection vector changed across xor→bloom migration")
+	}
+	// The xor-era inserts must be queryable after the next migration.
+	if sel := a.ContainsBatch(xorEra, nil); len(sel) != len(xorEra) {
+		t.Fatalf("only %d of %d xor-era inserts survived the xor→bloom migration", len(sel), len(xorEra))
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Zero false negatives against the key log: every acknowledged key —
+	// the writers' full ranges plus the xor-era batch — is present.
+	all := make([]Key, total)
+	for i := range all {
+		all[i] = Key(i)
+	}
+	if sel := a.ContainsBatch(all, nil); len(sel) != total {
+		t.Fatalf("%d of %d keys present after the round trip", len(sel), total)
+	}
+	if log := a.log.Load(); log != nil {
+		missing := 0
+		log.Snapshot().Replay(func(k Key) error {
+			if !a.Contains(k) {
+				missing++
+			}
+			return nil
+		}, true)
+		if missing != 0 {
+			t.Fatalf("%d logged keys missing from the filter (false negatives)", missing)
+		}
+	}
+}
+
+// TestAdaptiveReadMostlyCrossoverToXor drives the control loop through
+// the immutable family's full life cycle without any explicit Migrate
+// call: a high-tw workload builds once and then only probes, so the
+// tracked insert fraction drops under the read-mostly gate and
+// Reoptimize migrates to xor on modeled-ρ merit; when writes later
+// resume, the next pass must move back to a mutable family (the
+// writes-resumed override, since the mutable candidate is *worse* on ρ
+// alone) with every key — including the resumed ones — still present.
+func TestAdaptiveReadMostlyCrossoverToXor(t *testing.T) {
+	const n = 50_000
+	a, err := NewAdaptive(adaptiveBloomCfg, 16*n, AdaptiveOptions{
+		Workload: Workload{Tw: 1 << 20, BitsPerKeyBudget: 20},
+		Shards:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = Key(i + 1)
+	}
+	if _, err := a.InsertBatch(keys); err != nil {
+		t.Fatal(err)
+	}
+	// Mostly-miss probe traffic until the insert share of the window is
+	// safely under ReadMostlyMaxInsertFraction.
+	probe := make([]Key, 4096)
+	for i := range probe {
+		probe[i] = Key(10_000_000 + i)
+	}
+	for b := 0; b < 1+49*n/len(probe); b++ {
+		a.ContainsBatch(probe, nil)
+	}
+	adv, err := a.Advice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adv.Workload.ReadMostly {
+		t.Fatalf("workload not read-mostly at insert fraction %.4f", adv.Window.InsertFraction())
+	}
+	if adv.Best.Config.Kind != Xor {
+		t.Fatalf("read-mostly best is %s, want xor", adv.Best.Config)
+	}
+	d, err := a.Reoptimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Migrated || a.Config().Kind != Xor {
+		t.Fatalf("control loop did not migrate to xor: %+v (kind %v)", d, a.Config().Kind)
+	}
+	if sel := a.ContainsBatch(keys, nil); len(sel) != n {
+		t.Fatalf("%d of %d keys present on the xor generation", len(sel), n)
+	}
+
+	// Writes resume: enough inserts to clear the policy floor, making
+	// the window decidedly not read-mostly.
+	resumed := make([]Key, 2048)
+	for i := range resumed {
+		resumed[i] = Key(20_000_000 + i)
+	}
+	if _, err := a.InsertBatch(resumed); err != nil {
+		t.Fatal(err)
+	}
+	if sel := a.ContainsBatch(resumed, nil); len(sel) != len(resumed) {
+		t.Fatalf("only %d of %d resumed writes queryable on the live xor generation", len(sel), len(resumed))
+	}
+	d, err = a.Reoptimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Migrated || a.Config().Kind == Xor {
+		t.Fatalf("writes resumed but the loop kept the immutable filter: %+v (kind %v)", d, a.Config().Kind)
+	}
+	if !strings.Contains(d.Reason, "writes resumed") {
+		t.Fatalf("migration reason %q does not explain the override", d.Reason)
+	}
+	for _, k := range resumed[:256] {
+		if !a.Contains(k) {
+			t.Fatal("resumed write lost across the xor→mutable migration")
+		}
+	}
+	if sel := a.ContainsBatch(keys, nil); len(sel) != n {
+		t.Fatalf("%d of %d original keys present after the round trip", len(sel), n)
 	}
 }

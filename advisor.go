@@ -66,7 +66,22 @@ type Workload struct {
 	// FullSpace enumerates the paper's complete configuration space
 	// instead of the curated default subset (slower, marginally better).
 	FullSpace bool
+	// ReadMostly declares the key set effectively static after build,
+	// making the immutable xor/fuse family eligible: it beats both
+	// mutable families on bits-per-key and precision, but absorbing
+	// writes takes a key-log rebuild, so the advisor offers it only when
+	// writes are declared (or observed, by the adaptive control loop) to
+	// be rare — at most ReadMostlyMaxInsertFraction of operations. Its
+	// overhead additionally carries a rebuild surcharge amortized over
+	// the lookup budget (model.XorBuildSurcharge).
+	ReadMostly bool
 }
+
+// ReadMostlyMaxInsertFraction is the insert share (inserts over inserts
+// plus probes, measured since the last migration) at or below which the
+// adaptive control loop considers a tracked workload read-mostly and
+// lets the advisor enumerate the immutable xor/fuse family.
+const ReadMostlyMaxInsertFraction = 0.02
 
 // Advice is the performance-optimal recommendation.
 type Advice struct {
@@ -135,14 +150,12 @@ func Advise(w Workload) (Advice, error) {
 		opts.MaxExactBytes = math.MaxUint64
 	}
 	grid := model.Grid{Ns: []uint64{w.N}, Tws: []float64{w.Tw}}
-	sky := model.ComputeSkyline(grid, model.DefaultConfigs(w.FullSpace), machine, opts)
-	kinds := []model.Kind{model.KindBlockedBloom, model.KindCuckoo}
-	if w.FullSpace {
-		kinds = append(kinds, model.KindClassicBloom)
-	}
-	if w.AllowExact {
-		kinds = append(kinds, model.KindExact)
-	}
+	kinds := model.EnumerableKinds(model.EnumHints{
+		FullSpace:  w.FullSpace,
+		AllowExact: w.AllowExact,
+		ReadMostly: w.ReadMostly,
+	})
+	sky := model.ComputeSkyline(grid, model.ConfigsFor(kinds, w.FullSpace), machine, opts)
 	_, best := sky.Cells[0][0].Winner(kinds...)
 	if math.IsInf(best.Rho, 1) {
 		return Advice{}, fmt.Errorf("perfilter: no feasible configuration within %.1f bits/key", budget)
@@ -189,6 +202,12 @@ func EvaluateOverhead(w Workload, cfg Config, mBits uint64) (Advice, error) {
 	tl := machine.LookupCycles(mc, mBits)
 	f := mc.FPR(mBits, w.N)
 	rho := model.Overhead(tl, f, w.Tw)
+	if mc.Kind == model.KindXor {
+		// Price the deployed immutable filter the same way Advise prices
+		// a candidate one: its writes cost a key-log rebuild, amortized
+		// over the lookup budget.
+		rho += model.XorBuildSurcharge(w.Tw)
+	}
 	return Advice{
 		Config:       cfg,
 		MBits:        mBits,

@@ -7,6 +7,11 @@
 //
 //	filter-advisor -n 1000000 -tw 200 [-sigma 0.1] [-budget 16]
 //	               [-platform host|skx|xeon|knl|ryzen] [-exact] [-full]
+//	               [-read-mostly]
+//
+// -read-mostly declares the key set effectively static after build, which
+// makes the immutable xor/fuse family eligible (priced with a rebuild
+// surcharge amortized over tw).
 //
 // tw reference points (Figure 1): CPU cache miss ≈ 10^2 cycles, a network
 // tuple ≈ 10^4, an NVMe read ≈ 10^5, a SATA SSD read ≈ 10^6, a magnetic
@@ -29,6 +34,7 @@ func main() {
 	platformName := flag.String("platform", "host", "cost model: host|skx|xeon|knl|ryzen")
 	allowExact := flag.Bool("exact", false, "also consider an exact hash set")
 	full := flag.Bool("full", false, "search the full configuration space")
+	readMostly := flag.Bool("read-mostly", false, "declare the key set static after build (enables the immutable xor/fuse family)")
 	flag.Parse()
 
 	if *n == 0 || *tw <= 0 {
@@ -48,7 +54,7 @@ func main() {
 	advice, err := perfilter.Advise(perfilter.Workload{
 		N: *n, Tw: *tw, Sigma: *sigma,
 		BitsPerKeyBudget: *budget, Platform: p,
-		AllowExact: *allowExact, FullSpace: *full,
+		AllowExact: *allowExact, FullSpace: *full, ReadMostly: *readMostly,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "filter-advisor:", err)

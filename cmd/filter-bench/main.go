@@ -19,7 +19,7 @@
 //
 // Usage:
 //
-//	filter-bench [-fig 3|5|9|14|15|ablation] [-quick] [-size MiB] [-json BENCH_fig14.json]
+//	filter-bench [-fig 3|5|9|14|15|xor|ablation] [-quick] [-size MiB] [-json BENCH_fig14.json]
 //	filter-bench -parallel N [-shards P] [-quick] [-size MiB] [-json BENCH_parallel.json]
 //	filter-bench -adaptive [-tw cycles] [-quick] [-json BENCH_adaptive.json]
 package main
@@ -36,7 +36,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "14", "experiment: 3, 5, 9, 14, 15 or ablation")
+	fig := flag.String("fig", "14", "experiment: 3, 5, 9, 14, 15, xor or ablation")
 	quick := flag.Bool("quick", false, "short measurements (noisier)")
 	sizeMiB := flag.Uint64("size", 256, "large-filter size in MiB (figures 5, 9 and -parallel)")
 	parallel := flag.Int("parallel", 0, "run the parallel-throughput experiment across 1..N goroutines")
@@ -114,6 +114,10 @@ func main() {
 			fmt.Println("# Figure 15: batch-kernel speedups (host; see EXPERIMENTS.md for the SIMD gap)")
 			fig15 = bench.Fig15BatchSpeedup(eff)
 			fmt.Print(bench.FormatFig15(fig15))
+		case "xor":
+			fmt.Println("# Xor/fuse family: build (solve) throughput and probe cost vs the Bloom baseline")
+			series = bench.XorThroughput(eff)
+			fmt.Print(bench.Format(series))
 		case "ablation":
 			fmt.Println("# Ablation: cuckoo bucket size at tw=2^14 (the b=2 finding, §6)")
 			series = []bench.Series{bench.AblationCuckooBucket(1<<14, eff)}

@@ -1,11 +1,13 @@
-// filter-fpr prints the analytic false-positive-rate experiments: Figure 4
-// (impact of blocking and the optimal k), Figure 7 (sectorized vs
-// cache-sectorized) and Figure 8 (cuckoo signature/bucket trade-offs), as
-// tab-separated tables ready for plotting.
+// filter-fpr prints the false-positive-rate experiments: Figure 4 (impact
+// of blocking and the optimal k), Figure 7 (sectorized vs
+// cache-sectorized) and Figure 8 (cuckoo signature/bucket trade-offs) as
+// analytic tables ready for plotting, plus -fig xor: the measured-vs-
+// modeled FPR table across every family (blocked, classic, cuckoo,
+// xor8/xor16/fuse8/fuse16, exact) on real filters and random probes.
 //
 // Usage:
 //
-//	filter-fpr [-fig 4|4k|7|8]
+//	filter-fpr [-fig 4|4k|7|8|xor]
 package main
 
 import (
@@ -17,7 +19,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "4", "table to print: 4 (FPR), 4k (optimal k), 7, 8")
+	fig := flag.String("fig", "4", "table to print: 4 (FPR), 4k (optimal k), 7, 8, xor (measured vs model, all families)")
 	flag.Parse()
 
 	switch *fig {
@@ -33,6 +35,9 @@ func main() {
 	case "8":
 		fmt.Println("# Figure 8: cuckoo filter FPR by signature length and bucket size")
 		fmt.Print(bench.Format(bench.Fig8CuckooFPR()))
+	case "xor":
+		fmt.Println("# Measured vs modeled FPR, all families (100k keys, disjoint probes)")
+		fmt.Print(bench.FormatMeasuredFPR(bench.MeasuredFPRRows(100_000)))
 	default:
 		fmt.Fprintln(os.Stderr, "filter-fpr: unknown figure", *fig)
 		os.Exit(1)

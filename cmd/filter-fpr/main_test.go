@@ -1,0 +1,46 @@
+package main
+
+import (
+	"math"
+	"testing"
+
+	"perfilter/internal/bench"
+)
+
+// TestMeasuredFPRWithinModel pins every family's observed false-positive
+// rate to its analytic model: the xor/fuse variants (whose model is the
+// exact 2^-w) and the existing families must all measure within 2× of
+// the prediction, modulo binomial sampling noise, and the exact set must
+// measure zero. This is the table -fig xor prints.
+func TestMeasuredFPRWithinModel(t *testing.T) {
+	const n = 100_000
+	rows := bench.MeasuredFPRRows(n)
+	if len(rows) < 8 {
+		t.Fatalf("only %d families measured", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Name] = true
+		if r.Model == 0 {
+			if r.Measured != 0 {
+				t.Errorf("%s: measured %.6f, want exactly 0", r.Name, r.Measured)
+			}
+			continue
+		}
+		// ~4σ of binomial noise at ~2.6e5 probes, so the rare-event rows
+		// (cuckoo l=16, xor16) don't flake.
+		slack := 4 * math.Sqrt(r.Model/200_000)
+		if r.Measured > 2*r.Model+slack {
+			t.Errorf("%s: measured %.6f above 2x model %.6f", r.Name, r.Measured, r.Model)
+		}
+		if r.Measured < r.Model/2-slack {
+			t.Errorf("%s: measured %.6f below half the model %.6f (model too pessimistic?)",
+				r.Name, r.Measured, r.Model)
+		}
+	}
+	for _, want := range []string{"xor8", "xor16", "fuse8", "fuse16"} {
+		if !seen[want] {
+			t.Errorf("xor family member %s missing from the FPR table", want)
+		}
+	}
+}

@@ -7,11 +7,15 @@
 // Usage:
 //
 //	filter-skyline [-platform skx|xeon|knl|ryzen|host|all] [-fig 1|10|11|12|13]
-//	               [-full] [-calibration file.json]
+//	               [-full] [-xor] [-calibration file.json]
 //
 // -full uses the paper's full n-grid resolution and configuration space
 // (slower). -calibration substitutes host measurements from
-// filter-calibrate for the analytic cost model.
+// filter-calibrate for the analytic cost model. -xor renders the
+// read-mostly skyline instead: the type map with the immutable xor/fuse
+// family enabled (an X region appears at high tw) plus the mutable
+// families' crossover boundary — the extension the adaptive advisor uses
+// for read-mostly workloads.
 package main
 
 import (
@@ -28,6 +32,7 @@ func main() {
 	platformFlag := flag.String("platform", "skx", "cost model: skx|xeon|knl|ryzen|host|all")
 	fig := flag.Int("fig", 10, "figure to regenerate: 1, 10, 11, 12 or 13")
 	full := flag.Bool("full", false, "paper-resolution grid and full config space")
+	xorMap := flag.Bool("xor", false, "render the read-mostly type map with the xor/fuse family enabled, plus the crossover boundary")
 	calibFile := flag.String("calibration", "", "JSON from filter-calibrate to use as the cost model")
 	flag.Parse()
 
@@ -35,6 +40,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "filter-skyline:", err)
 		os.Exit(1)
+	}
+
+	if *xorMap {
+		fmt.Print(bench.XorSkyline(models, *full))
+		return
 	}
 
 	switch *fig {

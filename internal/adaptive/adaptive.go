@@ -76,6 +76,37 @@ type Counters struct {
 	Batches   uint64 `json:"batches"`
 }
 
+// Sub returns the counter deltas since a baseline snapshot — the window
+// the control loop evaluates (e.g. "since the last migration") rather
+// than a filter's whole history. Counters are monotone, so saturating
+// subtraction only guards against a baseline from a newer snapshot.
+func (c Counters) Sub(base Counters) Counters {
+	sub := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	return Counters{
+		Inserts:   sub(c.Inserts, base.Inserts),
+		Probes:    sub(c.Probes, base.Probes),
+		Positives: sub(c.Positives, base.Positives),
+		Batches:   sub(c.Batches, base.Batches),
+	}
+}
+
+// InsertFraction returns the share of observed operations that were
+// inserts. With nothing observed it returns 1 — "all writes" — so an
+// idle window can never pass for a read-mostly one (the gate that makes
+// immutable filter families eligible must see actual probe traffic).
+func (c Counters) InsertFraction() float64 {
+	ops := c.Inserts + c.Probes
+	if ops == 0 {
+		return 1
+	}
+	return float64(c.Inserts) / float64(ops)
+}
+
 // Sigma estimates the true-hit fraction σ from the observed positive
 // fraction. The estimate includes false positives, so it overstates σ by
 // at most the filter's FPR — negligible against the ρ comparison it feeds
@@ -116,6 +147,14 @@ func (p Policy) WithDefaults() Policy {
 	return p
 }
 
+// CooldownCleared reports whether the cooldown gate permits a migration:
+// no cooldown configured, no migration history (sinceLast < 0), or
+// enough time elapsed. The writes-resumed override in the root package
+// shares this gate, so the convention lives in exactly one place.
+func (p Policy) CooldownCleared(sinceLast time.Duration) bool {
+	return p.Cooldown <= 0 || sinceLast < 0 || sinceLast >= p.Cooldown
+}
+
 // ShouldMigrate applies the hysteresis rule to a modeled comparison and
 // returns the verdict with a human-readable reason (surfaced through the
 // server's advice endpoint and the bench's decision records).
@@ -123,7 +162,7 @@ func (p Policy) ShouldMigrate(curRho, bestRho float64, inserts uint64, sinceLast
 	if inserts < p.MinInserts {
 		return false, fmt.Sprintf("only %d inserts observed (min %d)", inserts, p.MinInserts)
 	}
-	if p.Cooldown > 0 && sinceLast >= 0 && sinceLast < p.Cooldown {
+	if !p.CooldownCleared(sinceLast) {
 		return false, fmt.Sprintf("cooling down (%s of %s)", sinceLast.Round(time.Millisecond), p.Cooldown)
 	}
 	if curRho <= 0 {

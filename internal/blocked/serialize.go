@@ -82,6 +82,11 @@ func Unmarshal(data []byte) (Probe, error) {
 	if numBlocks == 0 {
 		return nil, fmt.Errorf("blocked: zero blocks")
 	}
+	// Reject sizes the input cannot possibly carry before allocating the
+	// word array: a crafted header must not buy a multi-gigabyte make().
+	if uint64(numBlocks)*uint64(p.BlockBits) > uint64(len(data))*8 {
+		return nil, fmt.Errorf("blocked: %d blocks of %d bits exceed the %d-byte encoding", numBlocks, p.BlockBits, len(data))
+	}
 	// Rebuild through New so all derived state (plan, divider) is fresh,
 	// then overwrite the words. Size by exact bit count: New rounds the
 	// same way the original constructor did, so block counts must agree.

@@ -56,6 +56,11 @@ func Unmarshal(data []byte) (*Filter, error) {
 	if mBits == 0 {
 		return nil, fmt.Errorf("bloom: zero size")
 	}
+	// Reject sizes the input cannot possibly carry before allocating the
+	// word array (see the equivalent guard in package blocked).
+	if uint64(mBits) > uint64(len(data))*8 {
+		return nil, fmt.Errorf("bloom: %d bits exceed the %d-byte encoding", mBits, len(data))
+	}
 	// Rebuild through New at the exact rounded size: both addressing modes
 	// round an already-rounded size to itself, so the divider and word
 	// array must come out identical to the original's.

@@ -57,6 +57,11 @@ func Unmarshal(data []byte) (*Filter, error) {
 	if numBlocks == 0 {
 		return nil, fmt.Errorf("counting: zero blocks")
 	}
+	// Reject sizes the input cannot possibly carry before allocating the
+	// word array (see the equivalent guard in package blocked).
+	if uint64(numBlocks)*BlockCounters*CounterBits > uint64(len(data))*8 {
+		return nil, fmt.Errorf("counting: %d blocks exceed the %d-byte encoding", numBlocks, len(data))
+	}
 	// Rebuild through New at the exact rounded counter count; the block
 	// count must reproduce (New rounds an already-rounded size to itself).
 	f, err := New(p, uint64(numBlocks)*BlockCounters)

@@ -67,6 +67,11 @@ func Unmarshal(data []byte) (*Filter, error) {
 	if numBuckets == 0 {
 		return nil, fmt.Errorf("cuckoo: zero buckets")
 	}
+	// Reject sizes the input cannot possibly carry before allocating the
+	// word array (see the equivalent guard in package blocked).
+	if uint64(numBuckets)*uint64(p.TagBits)*uint64(p.BucketSize) > uint64(len(data))*8 {
+		return nil, fmt.Errorf("cuckoo: %d buckets exceed the %d-byte encoding", numBuckets, len(data))
+	}
 	f, err := New(p, uint64(numBuckets)*uint64(p.TagBits)*uint64(p.BucketSize))
 	if err != nil {
 		return nil, err

@@ -120,6 +120,17 @@ func CuckooFromSize(m, n float64, l, b uint32) float64 {
 	return Cuckoo(float64(l)*n/m, l, b)
 }
 
+// Xor returns the false-positive rate of an xor/fuse filter with w-bit
+// fingerprints: exactly 2^-w, independent of the load — the table is
+// solved for its key set, so a negative probe matches only by fingerprint
+// collision (Graf & Lemire, PAPERS.md).
+func Xor(w uint32) float64 {
+	if w == 0 || w > 32 {
+		panic("fpr: fingerprint width must be in [1,32]")
+	}
+	return math.Exp2(-float64(w))
+}
+
 // CuckooMaxLoad returns the practical maximum load factor for partial-key
 // cuckoo hashing by bucket size, as reported in §4 of the paper (b = 2, 4, 8
 // reach 84%, 95%, 98%; b = 1 about 50%).

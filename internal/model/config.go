@@ -21,6 +21,7 @@ import (
 	"perfilter/internal/cuckoo"
 	"perfilter/internal/fpr"
 	"perfilter/internal/magic"
+	"perfilter/internal/xor"
 )
 
 // Kind identifies a filter family.
@@ -36,8 +37,17 @@ const (
 	KindCuckoo
 	// KindExact is the exact hash set (f = 0, large footprint).
 	KindExact
+	// KindXor covers the immutable xor/fuse family (xor8, xor16 and their
+	// binary-fuse layouts): space-optimal and probe-cheap, but build-once —
+	// the advisor enumerates it only for read-mostly workloads, where a
+	// key-log rebuild is an acceptable write path.
+	KindXor
 	numKinds
 )
+
+// NumKinds returns the number of registered filter families (the valid
+// Kind values are [0, NumKinds)).
+func NumKinds() int { return int(numKinds) }
 
 func (k Kind) String() string {
 	switch k {
@@ -49,6 +59,8 @@ func (k Kind) String() string {
 		return "cuckoo"
 	case KindExact:
 		return "exact"
+	case KindXor:
+		return "xor"
 	default:
 		return "invalid"
 	}
@@ -60,6 +72,7 @@ type Config struct {
 	Bloom   blocked.Params // Kind == KindBlockedBloom
 	Classic bloom.Params   // Kind == KindClassicBloom
 	Cuckoo  cuckoo.Params  // Kind == KindCuckoo
+	Xor     xor.Params     // Kind == KindXor
 }
 
 // Validate checks the embedded parameters.
@@ -71,6 +84,8 @@ func (c Config) Validate() error {
 		return c.Classic.Validate()
 	case KindCuckoo:
 		return c.Cuckoo.Validate()
+	case KindXor:
+		return c.Xor.Validate()
 	case KindExact:
 		return nil
 	default:
@@ -87,6 +102,8 @@ func (c Config) String() string {
 		return c.Classic.String()
 	case KindCuckoo:
 		return c.Cuckoo.String()
+	case KindXor:
+		return c.Xor.String()
 	case KindExact:
 		return "exact[robin-hood]"
 	default:
@@ -103,6 +120,8 @@ func (c Config) FPR(mBits, n uint64) float64 {
 		return c.Classic.FPR(mBits, n)
 	case KindCuckoo:
 		return c.Cuckoo.FPR(mBits, n)
+	case KindXor:
+		return c.Xor.FPR()
 	default: // exact
 		return 0
 	}
@@ -113,12 +132,19 @@ func (c Config) FPR(mBits, n uint64) float64 {
 // factor α = l·n/m to stay within the practical limit for their bucket size
 // (§4: ~50%, 84%, 95%, 98% for b = 1, 2, 4, 8 — beyond that, construction
 // fails). The skyline sweep and the advisor both honour this constraint.
+// Xor tables are solved by peeling, which needs the layout's space factor
+// (≈1.23 slots/key, ≈1.13 for fuse) — below that the build fails for any
+// seed.
 func (c Config) Feasible(mBits, n uint64) bool {
-	if c.Kind != KindCuckoo {
+	switch c.Kind {
+	case KindCuckoo:
+		alpha := float64(c.Cuckoo.TagBits) * float64(n) / float64(mBits)
+		return alpha <= fpr.CuckooMaxLoad(c.Cuckoo.BucketSize)
+	case KindXor:
+		return mBits >= c.Xor.SizeForKeys(n)
+	default:
 		return true
 	}
-	alpha := float64(c.Cuckoo.TagBits) * float64(n) / float64(mBits)
-	return alpha <= fpr.CuckooMaxLoad(c.Cuckoo.BucketSize)
 }
 
 // GranuleBits is the sizing granule: filters round their size up to whole
@@ -151,10 +177,11 @@ func (c Config) usesMagic() bool {
 // ActualBits applies the same size rounding the constructors apply, without
 // building a filter: magic addressing rounds the granule count to the next
 // class-(ii) divisor (Eq. 10), power-of-two addressing to the next power of
-// two. Exact structures are sized by key count, not by a byte budget; see
-// ExactBits.
+// two. Exact and xor structures are sized by key count, not by a byte
+// budget (see ExactBits and xor.Params.SizeForKeys); for them the request
+// is returned unchanged.
 func (c Config) ActualBits(desired uint64) uint64 {
-	if c.Kind == KindExact {
+	if c.Kind == KindExact || c.Kind == KindXor {
 		return desired
 	}
 	g := uint64(c.GranuleBits())
@@ -233,6 +260,10 @@ func (c Config) HashBits() float64 {
 		return float64(c.Classic.K) * 32
 	case KindCuckoo:
 		return 32 + float64(c.Cuckoo.TagBits)
+	case KindXor:
+		// One 64-bit mix yields all three slot addresses and the
+		// fingerprint.
+		return 64
 	default:
 		return 32
 	}
@@ -241,7 +272,10 @@ func (c Config) HashBits() float64 {
 // LinesAccessed returns how many cache lines one lookup touches: the
 // memory-efficiency axis. Cuckoo filters read two buckets; blocked Bloom
 // filters read one line; classic Bloom filters read up to k (modelled at
-// its short-circuit expectation elsewhere).
+// its short-circuit expectation elsewhere). Xor filters read three slots
+// in three table thirds (three independent lines); the fuse layout
+// confines them to three adjacent small segments, which keeps them within
+// one or two lines/pages in practice — modelled as two.
 func (c Config) LinesAccessed() float64 {
 	switch c.Kind {
 	case KindBlockedBloom:
@@ -250,6 +284,11 @@ func (c Config) LinesAccessed() float64 {
 		return float64(c.Classic.K)
 	case KindCuckoo:
 		return 2
+	case KindXor:
+		if c.Xor.Fuse {
+			return 2
+		}
+		return 3
 	default:
 		return 1
 	}

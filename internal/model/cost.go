@@ -95,12 +95,42 @@ func (m Machine) Cycles(c Config, mBits uint64, simd bool) float64 {
 		}
 		cpu := 2.0 + probes*(2.0+m.modCost(c.Classic.Magic, 1))
 		return cpu + probes*mem
+	case KindXor:
+		// One 64-bit mix, three multiply-shift reductions, three loads
+		// and an xor-compare; the three loads are independent, so the
+		// batched kernel pipelines them like a gather.
+		cpu := 2.0 + 0.06*c.HashBits() + 1.5
+		if simd {
+			cpu = cpu/m.simdSpeedup(32, 1.0) + 0.5
+		}
+		return cpu + c.LinesAccessed()*mem
 	case KindExact:
 		// Robin-Hood probe: short chains, usually one line, no SIMD.
 		return 6.0 + 1.3*mem
 	default:
 		return 0
 	}
+}
+
+// XorBuildCyclesPerKey is the modeled construction cost of the xor/fuse
+// family: hashing, the peeling pass and the reverse assignment are all
+// O(n) with small constants, but the build touches every slot several
+// times with poor locality. The advisor amortizes this over the lookup
+// budget — an immutable filter pays ≈ XorBuildCyclesPerKey/tw extra
+// cycles per lookup (one rebuild per ~tw probes per key), so at small tw
+// the rebuild surcharge prices xor out and at large tw it vanishes. See
+// XorBuildSurcharge.
+const XorBuildCyclesPerKey = 150.0
+
+// XorBuildSurcharge returns the per-lookup rebuild surcharge added to the
+// xor family's overhead ρ (Eq. 1 has no build term because mutable
+// filters build incrementally; an immutable filter must re-peel from the
+// key log instead).
+func XorBuildSurcharge(tw float64) float64 {
+	if tw <= 0 {
+		return XorBuildCyclesPerKey
+	}
+	return XorBuildCyclesPerKey / tw
 }
 
 // simdSpeedup returns the effective lane-parallel speedup for a kernel

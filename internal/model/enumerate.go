@@ -5,7 +5,69 @@ import (
 	"perfilter/internal/bloom"
 	"perfilter/internal/cuckoo"
 	"perfilter/internal/fpr"
+	"perfilter/internal/xor"
 )
+
+// EnumHints describes the workload properties that gate which filter
+// families a sweep or the advisor enumerates. It is the single
+// registration point for families: adding a Kind means adding it to
+// EnumerableKinds and ConfigsFor, and every caller (Advise, the skyline
+// CLI, the adaptive control loop) picks it up.
+type EnumHints struct {
+	// FullSpace additionally enumerates the families the paper includes
+	// but never finds optimal (the classic Bloom baseline).
+	FullSpace bool
+	// AllowExact additionally enumerates the exact hash set (f = 0,
+	// ~75 bits/key, ignores the memory budget).
+	AllowExact bool
+	// ReadMostly declares the key set effectively static after build,
+	// which makes the immutable xor/fuse family eligible: its build-once
+	// tables can only absorb writes through a key-log rebuild, so the
+	// advisor offers it only when writes are rare. The adaptive control
+	// loop derives this from the tracked insert fraction.
+	ReadMostly bool
+}
+
+// EnumerableKinds returns the filter families eligible under the hints,
+// in Kind order. The two mutable families of the paper's headline sweep
+// are always included.
+func EnumerableKinds(h EnumHints) []Kind {
+	kinds := []Kind{KindBlockedBloom}
+	if h.FullSpace {
+		kinds = append(kinds, KindClassicBloom)
+	}
+	kinds = append(kinds, KindCuckoo)
+	if h.AllowExact {
+		kinds = append(kinds, KindExact)
+	}
+	if h.ReadMostly {
+		kinds = append(kinds, KindXor)
+	}
+	return kinds
+}
+
+// ConfigsFor returns the sweep configuration space for the given kinds
+// (full selects the paper's complete parameter space where one exists).
+// The exact kind contributes its single configuration; sweeps size it by
+// key count.
+func ConfigsFor(kinds []Kind, full bool) []Config {
+	var out []Config
+	for _, k := range kinds {
+		switch k {
+		case KindBlockedBloom:
+			out = append(out, EnumerateBloom(full)...)
+		case KindClassicBloom:
+			out = append(out, EnumerateClassic()...)
+		case KindCuckoo:
+			out = append(out, EnumerateCuckoo(full)...)
+		case KindExact:
+			out = append(out, Config{Kind: KindExact})
+		case KindXor:
+			out = append(out, EnumerateXor()...)
+		}
+	}
+	return out
+}
 
 // EnumerateBloom returns blocked-Bloom configurations over the paper's §6
 // sweep dimensions: k ∈ [1,16], B ∈ {32..512} bits (4–64 bytes),
@@ -93,6 +155,24 @@ func EnumerateClassic() []Config {
 			out = append(out, Config{
 				Kind:    KindClassicBloom,
 				Classic: bloom.Params{K: k, Magic: magicMod},
+			})
+		}
+	}
+	return out
+}
+
+// EnumerateXor returns the xor/fuse family: fingerprint widths 8 and 16
+// in both the classic three-block and the segmented binary-fuse layouts.
+// The family has no addressing-mode or geometry sweep — its size is a
+// function of the key count (xor.Params.SizeForKeys), so four
+// configurations span it.
+func EnumerateXor() []Config {
+	var out []Config
+	for _, fuse := range []bool{false, true} {
+		for _, w := range []uint32{8, 16} {
+			out = append(out, Config{
+				Kind: KindXor,
+				Xor:  xor.Params{FingerprintBits: w, Fuse: fuse},
 			})
 		}
 	}

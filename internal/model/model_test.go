@@ -397,10 +397,81 @@ func TestHostMachine(t *testing.T) {
 func TestKindStrings(t *testing.T) {
 	for k, want := range map[Kind]string{
 		KindBlockedBloom: "bloom", KindClassicBloom: "classic",
-		KindCuckoo: "cuckoo", KindExact: "exact",
+		KindCuckoo: "cuckoo", KindExact: "exact", KindXor: "xor",
 	} {
 		if k.String() != want {
 			t.Fatalf("Kind(%d).String() = %q", k, k.String())
+		}
+	}
+}
+
+// TestEveryKindRegistered is the family-registry regression test: every
+// Kind below numKinds must have a String() name, at least one enumerable
+// configuration under some hint set, and a positive cost-model entry —
+// so a new family cannot be added to the enum without wiring it through
+// the registration seams.
+func TestEveryKindRegistered(t *testing.T) {
+	allHints := EnumHints{FullSpace: true, AllowExact: true, ReadMostly: true}
+	kinds := EnumerableKinds(allHints)
+	if len(kinds) != NumKinds() {
+		t.Fatalf("EnumerableKinds(all) returned %d kinds, registry has %d", len(kinds), NumKinds())
+	}
+	byKind := make(map[Kind][]Config)
+	for _, cfg := range ConfigsFor(kinds, true) {
+		byKind[cfg.Kind] = append(byKind[cfg.Kind], cfg)
+	}
+	m := SKX()
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "invalid" {
+			t.Fatalf("Kind(%d) has no String() name", k)
+		}
+		cfgs := byKind[k]
+		if len(cfgs) == 0 {
+			t.Fatalf("kind %s has no enumerable configuration", k)
+		}
+		for _, cfg := range cfgs[:1] {
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("kind %s: enumerated config invalid: %v", k, err)
+			}
+			if tl := m.LookupCycles(cfg, 1<<20); tl <= 0 {
+				t.Fatalf("kind %s has no cost-model entry (tl = %v)", k, tl)
+			}
+		}
+	}
+}
+
+// TestSkylineXorRegion: with the xor family enabled (a read-mostly
+// workload), the extended type map must contain a non-empty xor region —
+// at high tw the family's 2^-w precision at ~1.23·w bits/key beats both
+// mutable families once the rebuild surcharge has amortized away.
+func TestSkylineXorRegion(t *testing.T) {
+	grid := DefaultGrid(false)
+	kinds := EnumerableKinds(EnumHints{ReadMostly: true})
+	sky := ComputeSkyline(grid, ConfigsFor(kinds, false), SKX(), DefaultSweepOpts())
+	xorCells := 0
+	for ni := range sky.Cells {
+		for ti := range sky.Cells[ni] {
+			kind, best := sky.Cells[ni][ti].Winner(kinds...)
+			if kind == KindXor && !math.IsInf(best.Rho, 1) {
+				xorCells++
+				if best.Config.Kind != KindXor || best.MBits == 0 {
+					t.Fatalf("xor cell carries wrong best: %+v", best)
+				}
+			}
+		}
+	}
+	if xorCells == 0 {
+		t.Fatal("no cell won by the xor family; the skyline's xor region is empty")
+	}
+	m := sky.RenderTypeMapKinds(kinds...)
+	if !strings.Contains(m, "X") {
+		t.Fatalf("extended type map has no X region:\n%s", m)
+	}
+	// The build surcharge must price xor out of the lowest-tw column:
+	// at tw = 2^4 one rebuild per ~16 probes/key dominates ρ.
+	for ni := range sky.Cells {
+		if kind, _ := sky.Cells[ni][0].Winner(kinds...); kind == KindXor {
+			t.Fatal("xor won a tw=2^4 cell; the rebuild surcharge is not being applied")
 		}
 	}
 }

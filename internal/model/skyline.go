@@ -75,7 +75,10 @@ type Cell struct {
 // none specified). Kinds with no feasible configuration have Rho = +Inf.
 func (c Cell) Winner(kinds ...Kind) (Kind, Best) {
 	if len(kinds) == 0 {
-		kinds = []Kind{KindBlockedBloom, KindClassicBloom, KindCuckoo, KindExact}
+		kinds = make([]Kind, 0, numKinds)
+		for k := Kind(0); k < numKinds; k++ {
+			kinds = append(kinds, k)
+		}
 	}
 	bestKind := kinds[0]
 	best := c.ByKind[kinds[0]]
@@ -136,7 +139,7 @@ func ComputeSkyline(grid Grid, configs []Config, cost CostModel, opts SweepOpts)
 	mRatios := sizeRatios(opts)
 
 	for ci, cfg := range configs {
-		if cfg.Kind == KindExact {
+		if cfg.Kind == KindExact || cfg.Kind == KindXor {
 			continue // handled below, sized by n
 		}
 		for ni, n := range grid.Ns {
@@ -171,6 +174,35 @@ func ComputeSkyline(grid Grid, configs []Config, cost CostModel, opts SweepOpts)
 					if rho < b.Rho {
 						*b = Best{Config: cfg, MBits: actual, F: f, Tl: tl, Rho: rho}
 					}
+				}
+			}
+		}
+	}
+
+	// Xor/fuse configurations are sized by the key count, not by a byte
+	// budget: the solved table is ≈1.23·w (1.13·w fuse) bits per key and
+	// extra budget buys nothing. Each configuration therefore contributes
+	// one point per n, kept only when that point fits the budget, and its
+	// overhead carries the rebuild surcharge — the family is immutable, so
+	// it pays its construction out of the lookup budget (see
+	// XorBuildSurcharge).
+	for _, cfg := range configs {
+		if cfg.Kind != KindXor {
+			continue
+		}
+		for ni, n := range grid.Ns {
+			mBits := cfg.Xor.SizeForKeys(n)
+			bpk := float64(mBits) / float64(n)
+			if bpk > opts.MaxBitsPerKey*1.0001 || bpk < opts.MinBitsPerKey*0.999 {
+				continue
+			}
+			f := cfg.Xor.FPR()
+			tl := cost.LookupCycles(cfg, mBits)
+			for ti, tw := range grid.Tws {
+				rho := Overhead(tl, f, tw) + XorBuildSurcharge(tw)
+				b := &sky.Cells[ni][ti].ByKind[KindXor]
+				if rho < b.Rho {
+					*b = Best{Config: cfg, MBits: mBits, F: f, Tl: tl, Rho: rho}
 				}
 			}
 		}
@@ -213,24 +245,47 @@ func sizeRatios(opts SweepOpts) []float64 {
 	return rs
 }
 
+// typeMapLetter is the one-character family legend of the type maps.
+func typeMapLetter(k Kind) byte {
+	switch k {
+	case KindBlockedBloom:
+		return 'B'
+	case KindClassicBloom:
+		return 'S' // the SIMD classic baseline, per the paper's naming
+	case KindCuckoo:
+		return 'C'
+	case KindExact:
+		return 'E'
+	case KindXor:
+		return 'X'
+	default:
+		return '?'
+	}
+}
+
 // RenderTypeMap draws the Figure 10-style ASCII map: rows are problem
 // sizes (descending), columns are tw values, and each cell shows the
 // winning family between blocked Bloom (B) and Cuckoo (C); '.' marks cells
 // where neither family had a feasible configuration.
 func (s *Skyline) RenderTypeMap() string {
+	return s.RenderTypeMapKinds(KindBlockedBloom, KindCuckoo)
+}
+
+// RenderTypeMapKinds is RenderTypeMap over an arbitrary family set — the
+// extended maps (e.g. with the xor region) use it. Legend: B blocked
+// Bloom, S classic (SIMD) Bloom, C cuckoo, E exact, X xor/fuse; '.' marks
+// cells with no feasible configuration among the given kinds.
+func (s *Skyline) RenderTypeMapKinds(kinds ...Kind) string {
 	out := fmt.Sprintf("skyline (%s): rows n=2^10..2^%d (bottom-up), cols tw=2^4..2^31\n",
 		s.Model, 10+len(s.Grid.Ns)-1)
 	for ni := len(s.Grid.Ns) - 1; ni >= 0; ni-- {
 		row := make([]byte, len(s.Grid.Tws))
 		for ti := range s.Grid.Tws {
-			kind, best := s.Cells[ni][ti].Winner(KindBlockedBloom, KindCuckoo)
-			switch {
-			case math.IsInf(best.Rho, 1):
+			kind, best := s.Cells[ni][ti].Winner(kinds...)
+			if math.IsInf(best.Rho, 1) {
 				row[ti] = '.'
-			case kind == KindBlockedBloom:
-				row[ti] = 'B'
-			default:
-				row[ti] = 'C'
+			} else {
+				row[ti] = typeMapLetter(kind)
 			}
 		}
 		out += fmt.Sprintf("n=2^%-3d %s\n", 10+ni, string(row))

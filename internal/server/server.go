@@ -241,7 +241,7 @@ func (s *Server) Handler() http.Handler {
 // and MBits, or an Advise workload and let the cost model choose both.
 type CreateRequest struct {
 	Name   string `json:"name"`
-	Kind   string `json:"kind,omitempty"` // bloom | classic | cuckoo | exact
+	Kind   string `json:"kind,omitempty"` // bloom | classic | cuckoo | exact | xor
 	MBits  uint64 `json:"mbits,omitempty"`
 	Shards int    `json:"shards,omitempty"` // 0 = advisor's host default
 
@@ -255,6 +255,13 @@ type CreateRequest struct {
 	// Cuckoo geometry (kind "cuckoo"); zero = the paper's s=16, b=2.
 	TagBits    uint32 `json:"tag_bits,omitempty"`
 	BucketSize uint32 `json:"bucket_size,omitempty"`
+
+	// Xor geometry (kind "xor"); zero fingerprint width = 8. The family
+	// is immutable: it goes live on the first migration/rotation, which
+	// seals the replayed key log into solved tables, and buffers any
+	// writes until the next one.
+	FingerprintBits uint32 `json:"fingerprint_bits,omitempty"`
+	Fuse            bool   `json:"fuse,omitempty"`
 
 	// Tw seeds the filter's tracked workload: the work saved per pruned
 	// probe, in cycles, which advice/migrate/autotune compare overheads
@@ -273,6 +280,9 @@ type AdviseRequest struct {
 	Sigma      float64 `json:"sigma,omitempty"`
 	BitsPerKey float64 `json:"bits_per_key,omitempty"`
 	AllowExact bool    `json:"allow_exact,omitempty"`
+	// ReadMostly makes the immutable xor/fuse family eligible (see
+	// perfilter.Workload.ReadMostly).
+	ReadMostly bool `json:"read_mostly,omitempty"`
 }
 
 // FilterInfo is the control-plane view of one filter.
@@ -317,6 +327,7 @@ func buildConfig(req *CreateRequest) (perfilter.Config, uint64, int, error) {
 		advice, err := perfilter.Advise(perfilter.Workload{
 			N: a.N, Tw: a.Tw, Sigma: a.Sigma,
 			BitsPerKeyBudget: a.BitsPerKey, AllowExact: a.AllowExact,
+			ReadMostly: a.ReadMostly,
 		})
 		if err != nil {
 			return perfilter.Config{}, 0, 0, err
@@ -362,6 +373,13 @@ func buildConfig(req *CreateRequest) (perfilter.Config, uint64, int, error) {
 		}
 		if req.BucketSize != 0 {
 			cfg.BucketSize = req.BucketSize
+		}
+	case "xor":
+		cfg.Kind = perfilter.Xor
+		cfg.Magic = false
+		cfg.FingerprintBits, cfg.Fuse = 8, req.Fuse
+		if req.FingerprintBits != 0 {
+			cfg.FingerprintBits = req.FingerprintBits
 		}
 	case "exact":
 		cfg.Kind = perfilter.Exact
@@ -494,9 +512,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := e.f.Stats()
+	window, readMostly := e.f.WorkloadWindow()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"filter": e.infoFrom(name, st), "per_shard_counts": st.PerShard,
 		"tracked": e.f.Counters(), "key_log_bits": e.f.LogBits(),
+		// The since-last-migration window the control loop evaluates,
+		// and the read-mostly verdict gating the immutable xor family.
+		"window": window, "window_insert_fraction": window.InsertFraction(),
+		"read_mostly": readMostly,
 	})
 }
 
@@ -678,6 +701,10 @@ type MigrateRequest struct {
 	Groups     uint32 `json:"groups,omitempty"`
 	TagBits    uint32 `json:"tag_bits,omitempty"`
 	BucketSize uint32 `json:"bucket_size,omitempty"`
+
+	// Xor geometry (kind "xor"), as in CreateRequest.
+	FingerprintBits uint32 `json:"fingerprint_bits,omitempty"`
+	Fuse            bool   `json:"fuse,omitempty"`
 }
 
 func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
@@ -722,6 +749,7 @@ func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
 			Kind: req.Kind, MBits: req.MBits, K: req.K,
 			BlockBits: req.BlockBits, SectorBits: req.SectorBits,
 			Groups: req.Groups, TagBits: req.TagBits, BucketSize: req.BucketSize,
+			FingerprintBits: req.FingerprintBits, Fuse: req.Fuse,
 		}
 		if cr.Kind == "" {
 			cr.Kind = e.f.Config().Kind.String()

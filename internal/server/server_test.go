@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -667,4 +668,89 @@ func TestSnapshotWithoutDataDir(t *testing.T) {
 	}, http.StatusCreated)
 	doJSON(t, "POST", ts.URL+"/v1/filters/f/snapshot", nil, http.StatusBadRequest)
 	doJSON(t, "POST", ts.URL+"/v1/filters/missing/snapshot", nil, http.StatusNotFound)
+}
+
+// TestXorMigrateEndpoint drives the immutable family through the HTTP
+// surface: create a Bloom filter, load keys, migrate it to kind "xor"
+// explicitly (the key-log replay seals the new generation), verify the
+// stats endpoint reports the xor kind plus the read-mostly window, keep
+// probing (members still selected), and migrate back to bloom.
+func TestXorMigrateEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	doJSON(t, "POST", ts.URL+"/v1/filters",
+		map[string]any{"name": "xr", "kind": "bloom", "mbits": 4 << 20}, http.StatusCreated)
+
+	keys := make([]uint32, 20_000)
+	for i := range keys {
+		keys[i] = uint32(i + 1)
+	}
+	resp := postBinary(t, ts.URL+"/v1/filters/xr/insert", keys)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	out := doJSON(t, "POST", ts.URL+"/v1/filters/xr/migrate",
+		map[string]any{"kind": "xor", "fingerprint_bits": 16, "fuse": true}, http.StatusOK)
+	if out["migrated"] != true {
+		t.Fatalf("migrate response %v", out)
+	}
+
+	stats := doJSON(t, "GET", ts.URL+"/v1/filters/xr", nil, http.StatusOK)
+	info := stats["filter"].(map[string]any)
+	if info["kind"] != "xor" {
+		t.Fatalf("stats kind %v after migration, want xor", info["kind"])
+	}
+	if _, ok := stats["read_mostly"]; !ok {
+		t.Fatal("stats missing the read_mostly verdict")
+	}
+	if _, ok := stats["window_insert_fraction"]; !ok {
+		t.Fatal("stats missing window_insert_fraction")
+	}
+
+	// Members must still be selected on the sealed xor generation.
+	resp = postBinary(t, ts.URL+"/v1/filters/xr/probe", keys[:1000])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != 4*1000 {
+		t.Fatalf("probe selected %d of 1000 members on the xor generation", len(body)/4)
+	}
+
+	// Inserts during the xor generation are acknowledged (overflow+log)…
+	late := []uint32{900_001, 900_002, 900_003}
+	resp = postBinary(t, ts.URL+"/v1/filters/xr/insert", late)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("xor-era insert status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// …and survive the migration back to a mutable family.
+	out = doJSON(t, "POST", ts.URL+"/v1/filters/xr/migrate",
+		map[string]any{"kind": "bloom", "mbits": 4 << 20}, http.StatusOK)
+	if out["migrated"] != true {
+		t.Fatalf("migrate-back response %v", out)
+	}
+	resp = postBinary(t, ts.URL+"/v1/filters/xr/probe", late)
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != 4*len(late) {
+		t.Fatalf("xor-era inserts lost: %d of %d selected after migrating back", len(body)/4, len(late))
+	}
+
+	// kind "xor" also works at create time (starts in the building phase).
+	doJSON(t, "POST", ts.URL+"/v1/filters",
+		map[string]any{"name": "xr2", "kind": "xor", "mbits": 1 << 20}, http.StatusCreated)
+	list := doJSON(t, "GET", ts.URL+"/v1/filters/xr2", nil, http.StatusOK)
+	if list["filter"].(map[string]any)["kind"] != "xor" {
+		t.Fatal("created xor filter does not report its kind")
+	}
 }

@@ -40,6 +40,12 @@
 //   - Snapshots. Snapshot serializes every shard (under the rotation
 //     lock) through a caller-supplied codec and Restore rebuilds the
 //     filter, which is how the filter server persists across restarts.
+//   - Build-once shards. A staged shard implementing Sealer (the
+//     xor/fuse family) is sealed — its buffered fill keys solved into a
+//     probe table — after the rotation's fill completes and before the
+//     swap, under the shard's write lock; dual-writes racing the seal
+//     take the shard's overflow path, so the no-false-negative contract
+//     survives the window.
 //
 // The package is deliberately generic over an Inner interface rather than
 // depending on the root perfilter package (which would be an import

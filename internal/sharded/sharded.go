@@ -39,6 +39,17 @@ type Inner interface {
 // each call must return a fresh, empty filter.
 type Factory func() (Inner, error)
 
+// Sealer is implemented by build-once shards (the xor/fuse family): after
+// a rotation's fill completes, Rotate calls Seal on every staged shard
+// that implements it — under the shard's write lock, before the swap — so
+// the new generation goes live with solved tables. Inserts that race the
+// seal (the dual-write window stays open until after the swap) land in
+// the shard's post-seal overflow path, preserving the no-false-negative
+// contract.
+type Sealer interface {
+	Seal() error
+}
+
 // shard pairs one partition's filter with its lock. count is guarded by mu.
 type shard struct {
 	mu    sync.RWMutex
@@ -545,6 +556,24 @@ func (f *Filter) Rotate(factory Factory, fill func(insert func(Key) error) error
 		if err := fill(insert); err != nil {
 			f.staging.Store(nil)
 			return fmt.Errorf("sharded: rotation fill: %w", err)
+		}
+	}
+	// Seal build-once shards before the swap: their buffered fill keys
+	// are solved into probe tables now, while readers still see the old
+	// generation. Dual-writers may keep inserting into ng concurrently —
+	// the shard lock serializes them against the seal, and keys arriving
+	// after it take the shard's overflow path.
+	for i, s := range ng.shards {
+		sealer, ok := s.f.(Sealer)
+		if !ok {
+			break // generations are homogeneous; no shard seals
+		}
+		s.mu.Lock()
+		err := sealer.Seal()
+		s.mu.Unlock()
+		if err != nil {
+			f.staging.Store(nil)
+			return fmt.Errorf("sharded: seal shard %d: %w", i, err)
 		}
 	}
 	f.factory = factory

@@ -1,0 +1,115 @@
+package xor
+
+import (
+	"perfilter/internal/core"
+	"perfilter/internal/simd"
+)
+
+// batchUnroll is the software-pipeline width, shared with the blocked and
+// cuckoo kernels (see package simd): hashes and slot addresses for this
+// many keys are computed before the corresponding fingerprints are
+// gathered and compared, giving the memory system batchUnroll independent
+// loads in flight.
+const batchUnroll = simd.Width
+
+// ContainsBatch appends to sel the positions of the keys that may be
+// contained and returns the extended selection vector. Results are
+// bit-identical to calling Contains per key. The pipelined kernel runs on
+// a sealed table with an empty overflow buffer — the steady state of a
+// sealed generation; the (transient) building and overflow states fall
+// back to the scalar path.
+func (f *Filter) ContainsBatch(keys []core.Key, sel core.SelVec) core.SelVec {
+	buf, cnt := simd.GrowSel(sel, len(keys))
+	if !f.sealed || len(f.overflow) != 0 || f.tab.n == 0 {
+		for i, k := range keys {
+			buf[cnt] = uint32(i)
+			var inc int
+			if f.Contains(k) {
+				inc = 1
+			}
+			cnt += inc
+		}
+		return buf[:cnt]
+	}
+	if f.tab.fp16 != nil {
+		cnt = f.tab.batch16(keys, buf, cnt)
+	} else {
+		cnt = f.tab.batch8(keys, buf, cnt)
+	}
+	return buf[:cnt]
+}
+
+// batch8 is the pipelined kernel for 8-bit fingerprints.
+func (t *table) batch8(keys []core.Key, out []uint32, cnt int) int {
+	var (
+		n   = len(keys)
+		idx [batchUnroll][3]uint32
+		fps [batchUnroll]uint8
+		tab = t.fp8
+	)
+	i := 0
+	for ; i+batchUnroll <= n; i += batchUnroll {
+		for l := 0; l < batchUnroll; l++ {
+			h0, h1, h2, fp := t.positions(keys[i+l])
+			idx[l] = [3]uint32{h0, h1, h2}
+			fps[l] = uint8(fp)
+		}
+		for l := 0; l < batchUnroll; l++ {
+			v := tab[idx[l][0]] ^ tab[idx[l][1]] ^ tab[idx[l][2]]
+			out[cnt] = uint32(i + l)
+			var inc int
+			if v == fps[l] {
+				inc = 1
+			}
+			cnt += inc
+		}
+	}
+	for ; i < n; i++ {
+		out[cnt] = uint32(i)
+		var inc int
+		if t.contains(keys[i]) {
+			inc = 1
+		}
+		cnt += inc
+	}
+	return cnt
+}
+
+// batch16 is the pipelined kernel for 16-bit fingerprints.
+func (t *table) batch16(keys []core.Key, out []uint32, cnt int) int {
+	var (
+		n   = len(keys)
+		idx [batchUnroll][3]uint32
+		fps [batchUnroll]uint16
+		tab = t.fp16
+	)
+	i := 0
+	for ; i+batchUnroll <= n; i += batchUnroll {
+		for l := 0; l < batchUnroll; l++ {
+			h0, h1, h2, fp := t.positions(keys[i+l])
+			idx[l] = [3]uint32{h0, h1, h2}
+			fps[l] = fp
+		}
+		for l := 0; l < batchUnroll; l++ {
+			v := tab[idx[l][0]] ^ tab[idx[l][1]] ^ tab[idx[l][2]]
+			out[cnt] = uint32(i + l)
+			var inc int
+			if v == fps[l] {
+				inc = 1
+			}
+			cnt += inc
+		}
+	}
+	for ; i < n; i++ {
+		out[cnt] = uint32(i)
+		var inc int
+		if t.contains(keys[i]) {
+			inc = 1
+		}
+		cnt += inc
+	}
+	return cnt
+}
+
+// compile-time interface check
+var _ core.BatchProber = (*Filter)(nil)

@@ -1,0 +1,303 @@
+package xor
+
+import (
+	"bytes"
+	"testing"
+
+	"perfilter/internal/rng"
+)
+
+var variants = []Params{
+	{FingerprintBits: 8},
+	{FingerprintBits: 16},
+	{FingerprintBits: 8, Fuse: true},
+	{FingerprintBits: 16, Fuse: true},
+}
+
+func buildKeys(n int, seed uint32) []Key {
+	r := rng.NewMT19937(seed)
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = r.Uint32()
+	}
+	return keys
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	for _, p := range variants {
+		for _, n := range []int{0, 1, 2, 17, 1000, 50_000} {
+			keys := buildKeys(n, 1)
+			f, err := Build(p, keys)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", p, n, err)
+			}
+			if !f.Sealed() {
+				t.Fatalf("%s: Build returned an unsealed filter", p)
+			}
+			for _, k := range keys {
+				if !f.Contains(k) {
+					t.Fatalf("%s n=%d: false negative for %d", p, n, k)
+				}
+			}
+		}
+	}
+}
+
+func TestFPRWithinModel(t *testing.T) {
+	const n = 100_000
+	const probes = 200_000
+	for _, p := range variants {
+		keys := buildKeys(n, 2)
+		f, err := Build(p, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		member := make(map[Key]bool, n)
+		for _, k := range keys {
+			member[k] = true
+		}
+		r := rng.NewMT19937(99)
+		fp, tested := 0, 0
+		for i := 0; i < probes; i++ {
+			k := r.Uint32()
+			if member[k] {
+				continue
+			}
+			tested++
+			if f.Contains(k) {
+				fp++
+			}
+		}
+		measured := float64(fp) / float64(tested)
+		model := p.FPR()
+		if measured > model*2+1e-4 {
+			t.Fatalf("%s: measured FPR %.6f vs model %.6f", p, measured, model)
+		}
+	}
+}
+
+func TestSpaceWithinBudget(t *testing.T) {
+	const n = 100_000
+	for _, p := range variants {
+		f, err := Build(p, buildKeys(n, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bpk := float64(f.SizeBits()) / float64(n)
+		// The layout rounds the slot budget up; allow ~15% on top of the
+		// nominal space factor.
+		budget := p.SpaceFactor() * float64(p.FingerprintBits) * 1.15
+		if bpk > budget {
+			t.Fatalf("%s: %.2f bits/key exceeds %.2f", p, bpk, budget)
+		}
+	}
+}
+
+func TestDuplicateKeysSeal(t *testing.T) {
+	keys := buildKeys(1000, 4)
+	dup := append(append([]Key(nil), keys...), keys...) // every key twice
+	for _, p := range variants {
+		f, err := Build(p, dup)
+		if err != nil {
+			t.Fatalf("%s: duplicate keys broke construction: %v", p, err)
+		}
+		if f.Count() != 1000 {
+			t.Fatalf("%s: count %d after dedup, want 1000", p, f.Count())
+		}
+		for _, k := range keys {
+			if !f.Contains(k) {
+				t.Fatalf("%s: false negative for duplicated key", p)
+			}
+		}
+	}
+}
+
+func TestLifecyclePhases(t *testing.T) {
+	p := Params{FingerprintBits: 8}
+	f, err := New(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := buildKeys(5000, 5)
+	for _, k := range keys {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Building phase: buffer scan answers exactly.
+	if !f.Contains(keys[0]) || f.Sealed() {
+		t.Fatal("building-phase probe or state wrong")
+	}
+	if err := f.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Seal(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatal("false negative after seal")
+		}
+	}
+	// Overflow phase: post-seal inserts stay queryable.
+	late := buildKeys(100, 6)
+	for _, k := range late {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.OverflowLen() == 0 {
+		t.Fatal("post-seal inserts did not land in overflow")
+	}
+	for _, k := range late {
+		if !f.Contains(k) {
+			t.Fatal("false negative for overflow key")
+		}
+	}
+	f.Reset()
+	if f.Sealed() || f.Contains(keys[0]) || f.Count() != 0 {
+		t.Fatal("Reset did not return to the empty building phase")
+	}
+}
+
+func TestBatchMatchesScalar(t *testing.T) {
+	for _, p := range variants {
+		keys := buildKeys(20_000, 7)
+		f, err := Build(p, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mix members and misses; also exercise the overflow fallback.
+		for phase := 0; phase < 2; phase++ {
+			probe := buildKeys(4096+13, 8+uint32(phase))
+			copy(probe[:100], keys[:100])
+			sel := f.ContainsBatch(probe, nil)
+			want := make([]uint32, 0, len(probe))
+			for i, k := range probe {
+				if f.Contains(k) {
+					want = append(want, uint32(i))
+				}
+			}
+			if len(sel) != len(want) {
+				t.Fatalf("%s phase %d: batch %d hits, scalar %d", p, phase, len(sel), len(want))
+			}
+			for i := range sel {
+				if sel[i] != want[i] {
+					t.Fatalf("%s: batch/scalar diverge at %d", p, i)
+				}
+			}
+			f.Insert(probe[len(probe)-1]) // push into overflow for phase 1
+		}
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	for _, p := range variants {
+		keys := buildKeys(30_000, 9)
+		f, err := Build(p, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Insert(0xDEADBEEF) // overflow key
+		data, err := f.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Unmarshal(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe := buildKeys(4096, 10)
+		copy(probe[:50], keys[:50])
+		a := f.ContainsBatch(probe, nil)
+		b := g.ContainsBatch(probe, nil)
+		if !bytes.Equal(u32bytes(a), u32bytes(b)) {
+			t.Fatalf("%s: round trip changed probe results", p)
+		}
+		if !g.Contains(0xDEADBEEF) {
+			t.Fatalf("%s: overflow key lost in round trip", p)
+		}
+		data2, err := g.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, data2) {
+			t.Fatalf("%s: re-marshal not byte-identical", p)
+		}
+	}
+}
+
+func TestSerializeUnsealed(t *testing.T) {
+	p := Params{FingerprintBits: 16, Fuse: true}
+	f, _ := New(p, 0)
+	keys := buildKeys(500, 11)
+	for _, k := range keys {
+		f.Insert(k)
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Sealed() {
+		t.Fatal("unsealed filter restored as sealed")
+	}
+	if err := g.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if !g.Contains(k) {
+			t.Fatal("pending key lost in round trip")
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	f, _ := Build(Params{FingerprintBits: 8}, buildKeys(1000, 12))
+	data, _ := f.MarshalBinary()
+	for _, cut := range []int{0, 3, headerLen - 1, headerLen + 5, len(data) - 1} {
+		if _, err := Unmarshal(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	bad := append([]byte(nil), data...)
+	bad[16] ^= 0xFF // segment length no longer matches the slot count
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("layout mismatch accepted")
+	}
+
+	// A sealed fuse header claiming segCount == 0 must be rejected at
+	// decode time: its probes would index past the table (seg+2 segments
+	// are always read). Craft one consistent with its own slot count.
+	fz, _ := Build(Params{FingerprintBits: 8, Fuse: true}, buildKeys(5, 13))
+	raw, _ := fz.MarshalBinary()
+	zero := append([]byte(nil), raw...)
+	le := func(off int, v uint32) {
+		zero[off], zero[off+1], zero[off+2], zero[off+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+	segLen := uint32(len(raw)-headerLen) / 2 // table bytes / (0+2) segments
+	le(16, segLen)                           // segLen
+	le(20, 0)                                // segCount = 0
+	zero[32], zero[33] = byte(2*segLen), byte(2*segLen>>8)
+	for i := 34; i < 40; i++ {
+		zero[i] = 0
+	}
+	// Table length unchanged, so only the layout fields are inconsistent
+	// in the dangerous way. Decode must refuse, not defer a panic to the
+	// first Contains.
+	if f2, err := Unmarshal(zero); err == nil {
+		f2.Contains(42) // would index out of range without the guard
+		t.Fatal("zero segment count accepted")
+	}
+}
+
+func u32bytes(v []uint32) []byte {
+	out := make([]byte, 0, len(v)*4)
+	for _, x := range v {
+		out = append(out, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+	return out
+}

@@ -46,6 +46,7 @@ import (
 	"perfilter/internal/cuckoo"
 	"perfilter/internal/exact"
 	"perfilter/internal/model"
+	"perfilter/internal/xor"
 )
 
 // Key is the key type: 32-bit integers, as in the paper's evaluation.
@@ -92,6 +93,12 @@ const (
 	Cuckoo
 	// Exact is a Robin Hood hash set: no false positives, ~64+ bits/key.
 	Exact
+	// Xor is the immutable xor/fuse filter family (Graf & Lemire):
+	// 2^-w FPR at ≈1.23·w bits/key (≈1.13·w fuse), solved by peeling from
+	// the complete key set. Filters of this kind build in phases — buffer
+	// inserts, Seal, then serve — and absorb post-seal writes in a side
+	// buffer until the next rebuild; see XorFilter.
+	Xor
 )
 
 func (k Kind) String() string {
@@ -104,6 +111,8 @@ func (k Kind) String() string {
 		return "cuckoo"
 	case Exact:
 		return "exact"
+	case Xor:
+		return "xor"
 	default:
 		return "invalid"
 	}
@@ -128,6 +137,11 @@ type Config struct {
 	TagBits    uint32
 	BucketSize uint32
 
+	// Xor geometry: fingerprint width w ∈ {8,16} and the binary-fuse
+	// layout flag.
+	FingerprintBits uint32
+	Fuse            bool
+
 	// Magic selects magic-modulo addressing (near-arbitrary sizes) over
 	// power-of-two addressing.
 	Magic bool
@@ -148,6 +162,9 @@ func (c Config) toModel() (model.Config, error) {
 	case Cuckoo:
 		p := cuckoo.Params{TagBits: c.TagBits, BucketSize: c.BucketSize, Magic: c.Magic}
 		return model.Config{Kind: model.KindCuckoo, Cuckoo: p}, p.Validate()
+	case Xor:
+		p := xor.Params{FingerprintBits: c.FingerprintBits, Fuse: c.Fuse}
+		return model.Config{Kind: model.KindXor, Xor: p}, p.Validate()
 	case Exact:
 		return model.Config{Kind: model.KindExact}, nil
 	default:
@@ -170,6 +187,11 @@ func fromModel(mc model.Config) Config {
 		return Config{
 			Kind: Cuckoo, TagBits: mc.Cuckoo.TagBits,
 			BucketSize: mc.Cuckoo.BucketSize, Magic: mc.Cuckoo.Magic,
+		}
+	case model.KindXor:
+		return Config{
+			Kind: Xor, FingerprintBits: mc.Xor.FingerprintBits,
+			Fuse: mc.Xor.Fuse,
 		}
 	default:
 		return Config{Kind: Exact}
@@ -228,6 +250,12 @@ func New(c Config, mBits uint64) (Filter, error) {
 			return nil, err
 		}
 		return &CuckooFilter{f}, nil
+	case model.KindXor:
+		f, err := xor.New(mc.Xor, mBits)
+		if err != nil {
+			return nil, err
+		}
+		return &XorFilter{f}, nil
 	default:
 		capacity := mBits
 		if capacity >= 1<<16 {
@@ -295,6 +323,19 @@ func NewExact(n int) Filter {
 	return &exactAdapter{exact.New(n)}
 }
 
+// BuildXor constructs a sealed xor/fuse filter directly from a key slice
+// (duplicates are deduplicated) — the natural entry point for the
+// family's build-once contract. fingerprintBits selects w ∈ {8,16}
+// (FPR 2^-w); fuse selects the binary-fuse layout (≈1.13·w instead of
+// ≈1.23·w bits/key, better probe locality).
+func BuildXor(keys []Key, fingerprintBits uint32, fuse bool) (*XorFilter, error) {
+	f, err := xor.Build(xor.Params{FingerprintBits: fingerprintBits, Fuse: fuse}, keys)
+	if err != nil {
+		return nil, err
+	}
+	return &XorFilter{f}, nil
+}
+
 // CuckooFilter is the Filter implementation for cuckoo filters, exposing
 // the family's extra capabilities: deletion and duplicate (bag) support.
 type CuckooFilter struct {
@@ -333,6 +374,56 @@ func (c *CuckooFilter) Reset() { c.f.Reset() }
 
 // String implements Filter.
 func (c *CuckooFilter) String() string { return c.f.Params().String() }
+
+// XorFilter is the Filter implementation for the immutable xor/fuse
+// family, exposing its build-once lifecycle: inserts buffer until Seal
+// solves the fingerprint table, and inserts after Seal park in an
+// overflow set that probes also consult (so the no-false-negative
+// contract holds for writers racing a sealed generation). Sharded
+// rotations seal staged xor shards automatically after their fill
+// completes; standalone users populate via New + Insert + Seal, or build
+// in one step with BuildXor. Folding overflow keys into the table takes a
+// rebuild from the full key set — the adaptive wrapper's key-log
+// migration does exactly that.
+type XorFilter struct {
+	f *xor.Filter
+}
+
+// Insert implements Filter; it never fails (buffered pre-seal, overflow
+// post-seal).
+func (x *XorFilter) Insert(key Key) error { return x.f.Insert(key) }
+
+// Contains implements Filter.
+func (x *XorFilter) Contains(key Key) bool { return x.f.Contains(key) }
+
+// ContainsBatch implements Filter.
+func (x *XorFilter) ContainsBatch(keys []Key, sel []uint32) []uint32 {
+	return x.f.ContainsBatch(keys, sel)
+}
+
+// Seal solves the table from the buffered keys (idempotent once sealed).
+func (x *XorFilter) Seal() error { return x.f.Seal() }
+
+// Sealed reports whether the table has been solved.
+func (x *XorFilter) Sealed() bool { return x.f.Sealed() }
+
+// OverflowLen returns the number of post-seal keys awaiting a rebuild.
+func (x *XorFilter) OverflowLen() int { return x.f.OverflowLen() }
+
+// Count returns the number of keys the filter answers for.
+func (x *XorFilter) Count() uint64 { return x.f.Count() }
+
+// SizeBits implements Filter.
+func (x *XorFilter) SizeBits() uint64 { return x.f.SizeBits() }
+
+// FPR implements Filter (2^-w, independent of n).
+func (x *XorFilter) FPR(n uint64) float64 { return x.f.FPR(n) }
+
+// Reset implements Filter, returning to the empty building phase.
+func (x *XorFilter) Reset() { x.f.Reset() }
+
+// String implements Filter.
+func (x *XorFilter) String() string { return x.f.String() }
 
 // blockedAdapter adapts blocked.Probe (whose Insert cannot fail).
 type blockedAdapter struct {
@@ -389,6 +480,7 @@ var (
 	_ Filter           = (*blockedAdapter)(nil)
 	_ Filter           = (*classicAdapter)(nil)
 	_ Filter           = (*CuckooFilter)(nil)
+	_ Filter           = (*XorFilter)(nil)
 	_ Filter           = (*exactAdapter)(nil)
 	_ core.BatchProber = (Filter)(nil)
 )

@@ -13,6 +13,7 @@ import (
 	"perfilter/internal/exact"
 	"perfilter/internal/scalable"
 	"perfilter/internal/sharded"
+	"perfilter/internal/xor"
 )
 
 // Serialization turns any filter this package builds into a portable byte
@@ -73,6 +74,8 @@ func Marshal(f Filter) ([]byte, error) {
 		return v.f.MarshalBinary()
 	case *CuckooFilter:
 		return v.f.MarshalBinary()
+	case *XorFilter:
+		return v.f.MarshalBinary()
 	case *exactAdapter:
 		return v.s.MarshalBinary()
 	case *CountingBloomFilter:
@@ -90,57 +93,80 @@ func Marshal(f Filter) ([]byte, error) {
 
 // Unmarshal reverses Marshal, reconstructing the filter with its type and
 // parameters. The decoder is picked by the leading wire magic; decode
-// failures surface the kind-specific error rather than a generic one. A
-// sharded envelope yields a *Sharded (assert to ConcurrentFilter for the
-// concurrent API).
+// failures surface the kind-specific error, wrapped with the magic that
+// selected the decoder, so a corrupted payload always names the format it
+// claimed to be. A sharded envelope yields a *Sharded (assert to
+// ConcurrentFilter for the concurrent API).
 func Unmarshal(data []byte) (Filter, error) {
 	if len(data) < 4 {
-		return nil, fmt.Errorf("perfilter: filter encoding truncated (%d bytes)", len(data))
+		return nil, fmt.Errorf("perfilter: filter encoding truncated (%d bytes, no magic)", len(data))
 	}
-	switch binary.LittleEndian.Uint32(data) {
+	magicWord := binary.LittleEndian.Uint32(data)
+	// wrap tags a decoder failure with the dispatching magic; nil errors
+	// pass through so the success paths below stay one-liners.
+	wrap := func(f Filter, err error) (Filter, error) {
+		if err != nil {
+			return nil, fmt.Errorf("perfilter: decode magic %#08x: %w", magicWord, err)
+		}
+		return f, nil
+	}
+	switch magicWord {
 	case blocked.WireMagic:
 		f, err := blocked.Unmarshal(data)
 		if err != nil {
-			return nil, err
+			return wrap(nil, err)
 		}
 		return &blockedAdapter{f}, nil
 	case bloom.WireMagic:
 		f, err := bloom.Unmarshal(data)
 		if err != nil {
-			return nil, err
+			return wrap(nil, err)
 		}
 		return &classicAdapter{f}, nil
 	case cuckoo.WireMagic:
 		f, err := cuckoo.Unmarshal(data)
 		if err != nil {
-			return nil, err
+			return wrap(nil, err)
 		}
 		return &CuckooFilter{f}, nil
+	case xor.WireMagic:
+		f, err := xor.Unmarshal(data)
+		if err != nil {
+			return wrap(nil, err)
+		}
+		return &XorFilter{f}, nil
 	case exact.WireMagic:
 		s, err := exact.Unmarshal(data)
 		if err != nil {
-			return nil, err
+			return wrap(nil, err)
 		}
 		return &exactAdapter{s}, nil
 	case counting.WireMagic:
 		f, err := counting.Unmarshal(data)
 		if err != nil {
-			return nil, err
+			return wrap(nil, err)
 		}
 		return &CountingBloomFilter{f}, nil
 	case scalable.WireMagic:
 		f, err := scalable.Unmarshal(data)
 		if err != nil {
-			return nil, err
+			return wrap(nil, err)
 		}
 		return &ScalableBloomFilter{f}, nil
 	case ShardedWireMagic:
-		return UnmarshalSharded(data)
+		s, err := UnmarshalSharded(data)
+		if err != nil {
+			return wrap(nil, err)
+		}
+		return s, nil
 	case AdaptiveWireMagic:
-		return UnmarshalAdaptive(data, AdaptiveOptions{})
+		f, err := UnmarshalAdaptive(data, AdaptiveOptions{})
+		if err != nil {
+			return wrap(nil, err)
+		}
+		return f, nil
 	default:
-		return nil, fmt.Errorf("perfilter: unrecognized filter encoding (magic %#08x)",
-			binary.LittleEndian.Uint32(data))
+		return nil, fmt.Errorf("perfilter: unrecognized filter encoding (magic %#08x)", magicWord)
 	}
 }
 
@@ -181,6 +207,16 @@ func (s *Sharded) marshalEnvelope() ([]byte, error) {
 	le.PutUint32(out[24:], s.cfg.K)
 	le.PutUint32(out[28:], s.cfg.TagBits)
 	le.PutUint32(out[32:], s.cfg.BucketSize)
+	if s.cfg.Kind == Xor {
+		// The xor family reuses the (otherwise unused) cuckoo slots: the
+		// fingerprint width travels in the TagBits word and the fuse flag
+		// in the formerly reserved byte, keeping the envelope layout (and
+		// older snapshots) unchanged.
+		le.PutUint32(out[28:], s.cfg.FingerprintBits)
+		if s.cfg.Fuse {
+			out[7] = 1
+		}
+	}
 	le.PutUint64(out[36:], s.perShard)
 	le.PutUint64(out[44:], snap.Seq)
 	le.PutUint32(out[52:], uint32(len(snap.Payloads)))
@@ -221,6 +257,11 @@ func UnmarshalSharded(data []byte) (*Sharded, error) {
 		K:          le.Uint32(data[24:]),
 		TagBits:    le.Uint32(data[28:]),
 		BucketSize: le.Uint32(data[32:]),
+	}
+	if cfg.Kind == Xor {
+		// Reverse the slot reuse of marshalEnvelope.
+		cfg.FingerprintBits, cfg.TagBits = cfg.TagBits, 0
+		cfg.Fuse = data[7] == 1
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("perfilter: sharded envelope config: %w", err)
@@ -278,6 +319,8 @@ func UnmarshalSharded(data []byte) (*Sharded, error) {
 			match = cfg.Kind == ClassicBloom
 		case *CuckooFilter:
 			match = cfg.Kind == Cuckoo
+		case *XorFilter:
+			match = cfg.Kind == Xor
 		case *exactAdapter:
 			match = cfg.Kind == Exact
 		}

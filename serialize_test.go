@@ -64,6 +64,8 @@ func TestMarshalRoundTripAllKinds(t *testing.T) {
 			return f, err
 		}},
 		{"exact", func() (Filter, error) { return NewExact(n), nil }},
+		{"xor8", func() (Filter, error) { return New(Config{Kind: Xor, FingerprintBits: 8}, 0) }},
+		{"fuse16", func() (Filter, error) { return New(Config{Kind: Xor, FingerprintBits: 16, Fuse: true}, 0) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -73,6 +75,13 @@ func TestMarshalRoundTripAllKinds(t *testing.T) {
 			}
 			for _, k := range build {
 				if err := f.Insert(k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// The build-once family serializes (and probes) its solved
+			// table; seal it the way a sharded rotation would.
+			if x, ok := f.(*XorFilter); ok {
+				if err := x.Seal(); err != nil {
 					t.Fatal(err)
 				}
 			}
