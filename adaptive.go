@@ -8,7 +8,30 @@ import (
 	"time"
 
 	"perfilter/internal/adaptive"
+	"perfilter/internal/obs"
 )
+
+// Control-loop instrumentation, on the process-wide registry: how often
+// the tuner evaluates, how often hysteresis holds it back, and which
+// kind→kind migrations actually happen. Migration counts are labeled by
+// (from, to) so a flapping filter shows up as paired bloom→cuckoo /
+// cuckoo→bloom increments instead of hiding inside one total.
+var (
+	mEvaluations = obs.Default.Counter("perfilter_adaptive_evaluations_total",
+		"Re-optimization passes (Reoptimize calls), whatever their verdict.")
+	mRejections = obs.Default.Counter("perfilter_adaptive_rejections_total",
+		"Re-optimization passes that decided against migrating (hysteresis, cooldown, min inserts, already optimal).")
+	mEmergencyGrows = obs.Default.Counter("perfilter_adaptive_emergency_grows_total",
+		"Emergency migrations triggered by a saturated (ErrFull) filter.")
+)
+
+// countMigration bumps the (from, to) migration counter. Cold path: the
+// label lookup may allocate, a migration rebuilds the whole filter.
+func countMigration(from, to Kind) {
+	obs.Default.Counter("perfilter_adaptive_migrations_total",
+		"Completed live migrations, by source and target filter kind.",
+		"from", from.String(), "to", to.String()).Inc()
+}
 
 // AdaptiveOptions configures NewAdaptive.
 type AdaptiveOptions struct {
@@ -81,11 +104,13 @@ type Adaptive struct {
 	// no log; migration is refused until the next Reset clears both.
 	logComplete atomic.Bool
 
-	// mu serializes re-optimization, migration, rotation and reset, and
-	// guards the decision history.
+	// mu serializes re-optimization, migration, rotation and reset.
 	mu            sync.Mutex
-	decisions     []adaptive.Decision
 	lastMigration time.Time
+	// trace is the fixed-size ring buffer of re-optimization decisions
+	// (the control loop's flight recorder, capacity opts.MaxDecisions);
+	// it has its own lock so readers never contend with a migration.
+	trace *adaptive.Trace
 	// baseline is the counter snapshot at the last migration (zero until
 	// then, and after clearing rotations/resets). The control loop
 	// evaluates the workload over the delta since this baseline, so the
@@ -126,7 +151,7 @@ func NewAdaptiveAdvised(opts AdaptiveOptions) (*Adaptive, Advice, error) {
 
 func newAdaptive(s *Sharded, opts AdaptiveOptions, logComplete bool) *Adaptive {
 	opts = opts.withDefaults()
-	a := &Adaptive{s: s, opts: opts}
+	a := &Adaptive{s: s, opts: opts, trace: adaptive.NewTrace(opts.MaxDecisions)}
 	if !opts.DisableKeyLog {
 		a.log.Store(new(adaptive.KeyLog))
 		a.logComplete.Store(logComplete)
@@ -532,11 +557,13 @@ func (a *Adaptive) adviceAt(lastMigration time.Time, baseline adaptive.Counters,
 func (a *Adaptive) Reoptimize() (adaptive.Decision, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	mEvaluations.Inc()
 	adv, err := a.adviceAt(a.lastMigration, a.baseline, 0)
 	if err != nil {
 		return adaptive.Decision{}, err
 	}
 	d := decisionFrom(adv)
+	d.Margin = a.opts.Policy.Margin
 	if adv.WouldMigrate {
 		if err := a.migrateLocked(adv.Best.Config, adv.Best.MBits); err != nil {
 			d.Reason = "migration failed: " + err.Error()
@@ -545,6 +572,8 @@ func (a *Adaptive) Reoptimize() (adaptive.Decision, error) {
 		}
 		d.Migrated = true
 		a.lastMigration = d.At
+	} else {
+		mRejections.Inc()
 	}
 	a.record(d)
 	return d, nil
@@ -590,12 +619,14 @@ func (a *Adaptive) migrateLocked(cfg Config, mBits uint64) error {
 	if !a.canMigrate() {
 		return fmt.Errorf("perfilter: adaptive filter cannot migrate without a complete key log")
 	}
+	prev := a.s.Config()
 	log := a.log.Load()
 	if err := a.s.Migrate(cfg, mBits, func(insert func(Key) error) error {
 		return log.Snapshot().Replay(insert, true)
 	}); err != nil {
 		return err
 	}
+	countMigration(prev.Kind, cfg.Kind)
 	// Open a fresh evaluation window: σ and the read-mostly gate are
 	// computed over traffic since this migration.
 	a.baseline = a.stats.Snapshot()
@@ -616,6 +647,7 @@ func (a *Adaptive) recoverFull(sawBits, incoming uint64) (bool, error) {
 	if a.s.SizeBits() > sawBits {
 		return false, nil // a concurrent recovery already grew the filter
 	}
+	mEmergencyGrows.Inc()
 	w := a.workload(a.baseline)
 	w.N = 2 * (w.N + incoming)
 	// An emergency grow is triggered by inserts, so never pick an
@@ -651,25 +683,34 @@ func decisionFrom(adv AdaptiveAdvice) adaptive.Decision {
 		BestRho:     adv.Best.Overhead,
 		KindChanged: adv.KindChange,
 		Reason:      adv.Reason,
+		Window:      adv.Window,
 	}
 }
 
-// record appends to the bounded decision history; a.mu is held.
+// record appends to the decision trace ring buffer.
 func (a *Adaptive) record(d adaptive.Decision) {
-	a.decisions = append(a.decisions, d)
-	if over := len(a.decisions) - a.opts.MaxDecisions; over > 0 {
-		a.decisions = append(a.decisions[:0], a.decisions[over:]...)
-	}
+	a.trace.Add(d)
 }
 
-// Decisions returns a copy of the retained decision history, oldest first.
+// Decisions returns a copy of the retained decision history, oldest
+// first (at most MaxDecisions entries — the trace ring's capacity).
 func (a *Adaptive) Decisions() []adaptive.Decision {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make([]adaptive.Decision, len(a.decisions))
-	copy(out, a.decisions)
-	return out
+	return a.trace.Snapshot()
 }
+
+// TraceTotal returns the number of re-optimization decisions ever
+// recorded, including ones the bounded trace has since overwritten.
+func (a *Adaptive) TraceTotal() uint64 { return a.trace.Total() }
+
+// LastMigration returns the most recent decision that actually migrated
+// the filter (explicit, control-loop or emergency), if one is still
+// retained in the trace.
+func (a *Adaptive) LastMigration() (adaptive.Decision, bool) {
+	return a.trace.Last(func(d adaptive.Decision) bool { return d.Migrated })
+}
+
+// Skew reports the per-shard insert imbalance as max/mean (1 = even).
+func (a *Adaptive) Skew() float64 { return a.s.Skew() }
 
 // compile-time interface checks
 var (

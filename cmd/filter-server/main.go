@@ -17,17 +17,25 @@
 // beats the deployed one by the hysteresis margin. The post-migration
 // configuration persists through the snapshot envelope.
 //
+// Observability: GET /metrics serves the Prometheus text exposition for
+// every layer (batch-plane latency histograms, rotation and dual-write
+// timings, control-loop decisions), GET /v1/filters/{name}/trace the
+// recent re-optimization decisions, and GET /healthz uptime and build
+// identity. Logs are structured (log/slog text format; -log-json for
+// JSON). -pprof mounts net/http/pprof under /debug/pprof/.
+//
 // Usage:
 //
 //	filter-server [-addr :8077] [-data-dir /var/lib/filter-server] [-max-batch-bytes 16777216]
-//	              [-autotune 30s] [-default-tw 1000]
+//	              [-autotune 30s] [-default-tw 1000] [-pprof] [-log-json]
 package main
 
 import (
 	"context"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -49,18 +57,30 @@ func main() {
 		"re-optimization period: re-advise every filter against its tracked workload and migrate when the modeled win clears the hysteresis margin (0 = off)")
 	defaultTw := flag.Float64("default-tw", server.DefaultTw,
 		"default work saved per pruned probe in cycles, for filters created without tw")
+	pprofOn := flag.Bool("pprof", false,
+		"mount net/http/pprof under /debug/pprof/ on the service listener")
+	logJSON := flag.Bool("log-json", false,
+		"emit logs as JSON instead of logfmt-style text")
 	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
 
 	reg := server.New(server.Options{
 		MaxBatchBytes: *maxBatch, MaxFilterBits: *maxBits, MaxTotalBits: *maxTotal,
 		DataDir: *dataDir, Tw: *defaultTw,
+		Logger: logger, Pprof: *pprofOn,
 	})
 	if *dataDir != "" {
 		loaded, err := reg.LoadAll()
 		if err != nil {
-			log.Printf("filter-server: restore: %v", err)
+			logger.Warn("restore finished with errors", "err", err)
 		}
-		log.Printf("filter-server: restored %d filter(s) from %s", loaded, *dataDir)
+		logger.Info("restored filters", "count", loaded, "dir", *dataDir)
 	}
 
 	srv := &http.Server{
@@ -72,15 +92,16 @@ func main() {
 	defer stop()
 	if *autotune > 0 {
 		reg.StartAutotune(ctx, *autotune)
-		log.Printf("filter-server: autotune every %s (default tw %g cycles)", *autotune, *defaultTw)
+		logger.Info("autotune enabled", "interval", *autotune, "default_tw", *defaultTw)
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("filter-server listening on %s", *addr)
+	logger.Info("listening", "addr", *addr, "pprof", *pprofOn)
 
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 	// Graceful shutdown: stop accepting, drain in-flight requests, then
@@ -91,13 +112,13 @@ func main() {
 	// snapshots below may predate writes those clients believe landed, so
 	// it must be visible to the operator.
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("filter-server: shutdown: %v", err)
+		logger.Warn("shutdown exceeded deadline", "err", err)
 	}
 	if *dataDir != "" {
 		saved, err := reg.SaveAll()
 		if err != nil {
-			log.Printf("filter-server: snapshot on shutdown: %v", err)
+			logger.Warn("snapshot on shutdown finished with errors", "err", err)
 		}
-		log.Printf("filter-server: saved %d filter(s) to %s", saved, *dataDir)
+		logger.Info("saved filters", "count", saved, "dir", *dataDir)
 	}
 }

@@ -165,6 +165,11 @@ func (s *Sharded) Generation() uint64 { return s.s.Generation() }
 // Stats implements ConcurrentFilter.
 func (s *Sharded) Stats() ShardStats { return s.s.Stats() }
 
+// Skew reports the per-shard insert-count imbalance as max/mean
+// (1 = perfectly even, P = all keys on one shard) — the balance
+// diagnostic behind the server's shard-skew gauge.
+func (s *Sharded) Skew() float64 { return s.s.Skew() }
+
 // Rotate implements ConcurrentFilter: it builds a replacement generation
 // of mBits total bits (0 keeps the current size) off to the side, runs
 // fill against it if non-nil, then swaps it in with one atomic store.

@@ -1,9 +1,14 @@
 // Filter-server client walkthrough: starts the server in-process on a
 // loopback port, then drives it the way a remote client would — create a
 // filter from a workload description, push keys through the binary insert
-// plane, probe a batch, read stats, rotate the filter under traffic, and
-// finally snapshot it and "restart" into a second server that restores
-// the filter with identical probe results.
+// plane, probe a batch, read stats, rotate the filter under traffic,
+// migrate it and read the decision trace, scrape /metrics and /healthz,
+// and finally snapshot it and "restart" into a second server that
+// restores the filter with identical probe results.
+//
+// The server's own control-plane events (create, rotate, migrate,
+// snapshot) appear interleaved on stderr as log/slog lines — that is the
+// structured logging the observability layer replaces log.Printf with.
 //
 //	go run ./examples/filterserver
 package main
@@ -18,6 +23,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 
 	"perfilter/internal/server"
 )
@@ -121,6 +127,43 @@ func main() {
 		log.Fatalf("post-rotation probe: status %d err %v", resp.StatusCode, err)
 	}
 	fmt.Printf("probe after rotation: %d of 1024 keys still selected\n", len(sel)/4)
+
+	// Observability: liveness with build identity, then a /metrics scrape.
+	// Every layer exports to the same exposition — the server's batch-plane
+	// latency histograms, the sharded layer's rotation timings, and the
+	// adaptive control loop's migration counters.
+	health := getJSON(base + "/healthz")
+	fmt.Printf("healthz: status=%v go=%v uptime=%.1fs\n",
+		health["status"], health["go_version"], health["uptime_seconds"])
+	metResp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	exposition, _ := io.ReadAll(metResp.Body)
+	metResp.Body.Close()
+	fmt.Println("selected /metrics lines:")
+	for _, line := range strings.Split(string(exposition), "\n") {
+		if strings.HasPrefix(line, "perfilter_server_keys_total") ||
+			strings.HasPrefix(line, "perfilter_server_filter_shard_skew") ||
+			strings.HasPrefix(line, "perfilter_sharded_rotations_total") ||
+			strings.HasPrefix(line, "perfilter_server_probe_duration_ns_count") {
+			fmt.Println("  " + line)
+		}
+	}
+
+	// Force one migration so the decision trace has an entry, then read
+	// it back: each decision records the tracked window, the modeled
+	// ρ comparison and whether the filter migrated.
+	postJSON(base+"/v1/filters/users/migrate", map[string]any{"force": true})
+	trace := getJSON(base + "/v1/filters/users/trace")
+	fmt.Printf("decision trace: %v total decision(s)\n", trace["total"])
+	if ds, ok := trace["decisions"].([]any); ok {
+		for _, raw := range ds {
+			d := raw.(map[string]any)
+			fmt.Printf("  %v -> %v migrated=%v (%v)\n",
+				d["current"], d["best"], d["migrated"], d["reason"])
+		}
+	}
 
 	// Durability: refill the rotated filter, snapshot it to the data dir,
 	// then "restart" — a second server restoring from the same directory

@@ -177,8 +177,8 @@ func (p Policy) ShouldMigrate(curRho, bestRho float64, inserts uint64, sinceLast
 
 // Decision records one re-optimization pass: what the tracker saw, what
 // the model recommended, and whether the filter migrated. Decisions are
-// JSON-friendly so the server's advice endpoint and the bench summary can
-// emit them verbatim.
+// JSON-friendly so the server's advice and trace endpoints and the bench
+// summary can emit them verbatim.
 type Decision struct {
 	At          time.Time `json:"at"`
 	N           uint64    `json:"n"`
@@ -191,6 +191,12 @@ type Decision struct {
 	KindChanged bool      `json:"kind_changed"`
 	Migrated    bool      `json:"migrated"`
 	Reason      string    `json:"reason"`
+	// Margin is the hysteresis margin the ρ comparison was held to.
+	Margin float64 `json:"margin,omitempty"`
+	// Window is the tracked workload since the last migration at decision
+	// time — the counters the σ estimate and the read-mostly gate were
+	// computed from.
+	Window Counters `json:"window,omitempty"`
 }
 
 // Tuner drives a re-optimization step on a fixed interval from a

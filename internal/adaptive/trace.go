@@ -1,0 +1,97 @@
+package adaptive
+
+import "sync"
+
+// Trace is a fixed-size ring buffer of re-optimization Decisions: the
+// control loop's flight recorder. Every Reoptimize verdict — migrated
+// or rejected — is appended; once the buffer is full the oldest entry
+// is overwritten, so the trace always holds the last Cap decisions and
+// a total count of everything ever recorded. The server exposes it at
+// GET /v1/filters/{name}/trace so an operator can see *why* the tuner
+// did (or did not) act without scraping logs.
+//
+// All methods are safe for concurrent use.
+type Trace struct {
+	mu    sync.Mutex
+	buf   []Decision
+	next  int    // index the next Add writes to
+	n     int    // live entries (== len(buf) once wrapped)
+	total uint64 // decisions ever recorded, including overwritten ones
+}
+
+// NewTrace returns a trace retaining the last capacity decisions
+// (minimum 1).
+func NewTrace(capacity int) *Trace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Trace{buf: make([]Decision, capacity)}
+}
+
+// Cap returns the retention capacity.
+func (t *Trace) Cap() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Add records one decision, overwriting the oldest once full.
+func (t *Trace) Add(d Decision) {
+	t.mu.Lock()
+	t.buf[t.next] = d
+	t.next = (t.next + 1) % len(t.buf)
+	if t.n < len(t.buf) {
+		t.n++
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained decisions.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Total returns the number of decisions ever recorded (monotone; the
+// trace endpoint reports it so a scraper can tell how many decisions
+// the window dropped).
+func (t *Trace) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Snapshot returns the retained decisions, oldest first.
+func (t *Trace) Snapshot() []Decision {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Decision, 0, t.n)
+	start := t.next - t.n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// Last returns the most recent decision satisfying keep (nil keeps
+// any), or false when none is retained — how the stats endpoint finds
+// the last actual migration without copying the whole window.
+func (t *Trace) Last(keep func(Decision) bool) (Decision, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := 1; i <= t.n; i++ {
+		idx := t.next - i
+		if idx < 0 {
+			idx += len(t.buf)
+		}
+		if keep == nil || keep(t.buf[idx]) {
+			return t.buf[idx], true
+		}
+	}
+	return Decision{}, false
+}

@@ -1,0 +1,392 @@
+// Package obs is the repository's dependency-free observability core:
+// atomic counters and gauges, log-bucketed latency histograms with a
+// lock-free, allocation-free Observe on the hot path, and a Registry
+// that renders everything in the Prometheus text exposition format
+// (version 0.0.4) for GET /metrics.
+//
+// The paper's thesis is that the performance-optimal filter depends on
+// *measured* workload and hardware behaviour — lookup cycles, FPR,
+// insert mix. This package turns those cost-model inputs into exported
+// signals: the server's batch plane times every insert/probe batch, the
+// sharded layer times rotations, seals and the dual-write window, and
+// the adaptive layer counts control-loop evaluations, hysteresis
+// rejections and migrations by kind pair. Instruments are get-or-create
+// by (name, labels): registering the same series twice returns the same
+// instrument, so package-level instrumentation composes with per-filter
+// series the server adds and removes at filter lifetime boundaries.
+//
+// Design constraints, in priority order:
+//
+//  1. Hot-path cost. Histogram.Observe and Counter.Add are a handful of
+//     atomic adds with zero allocations — cheap enough for every probe
+//     batch of a saturated server (BenchmarkObserve pins 0 allocs/op).
+//  2. No dependencies. The exposition writer speaks the Prometheus text
+//     format directly; nothing outside the standard library.
+//  3. Deterministic output. Families render sorted by name, series
+//     sorted by label signature, so /metrics diffs are meaningful and
+//     the format can be golden-tested.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic float64 value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// HistogramBuckets is the number of finite histogram buckets: powers of
+// two from 2^0 to 2^(HistogramBuckets-1) nanoseconds (bucket i counts
+// observations v with 2^(i-1) < v <= 2^i), plus an implicit +Inf
+// overflow. 2^35 ns ≈ 34 s, far beyond any filter-server operation.
+const HistogramBuckets = 36
+
+// Histogram is a log-bucketed latency histogram: power-of-two
+// nanosecond buckets, lock-free and allocation-free to observe. The sum
+// is tracked in nanoseconds.
+type Histogram struct {
+	buckets  [HistogramBuckets]atomic.Uint64
+	overflow atomic.Uint64
+	count    atomic.Uint64
+	sum      atomic.Uint64 // total nanoseconds
+}
+
+// Observe records one latency in nanoseconds. Negative values clamp to
+// zero. It is safe for any number of concurrent callers and performs no
+// allocations — this is the instrument that sits on the probe hot path.
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	idx := bucketIndex(uint64(ns))
+	if idx >= HistogramBuckets {
+		h.overflow.Add(1)
+	} else {
+		h.buckets[idx].Add(1)
+	}
+	h.count.Add(1)
+	h.sum.Add(uint64(ns))
+}
+
+// bucketIndex returns the smallest i with v <= 2^i (0 for v <= 1):
+// the index of the finite bucket whose upper bound covers v, or
+// HistogramBuckets for overflow.
+func bucketIndex(v uint64) int {
+	if v <= 1 {
+		return 0
+	}
+	return bits.Len64(v - 1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed nanoseconds.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// snapshotCumulative fills cum with the cumulative bucket counts
+// (cum[i] = observations <= 2^i ns) and returns the +Inf total.
+// Concurrent Observes may land between bucket loads; the rendered
+// count is taken as the +Inf cumulative so the exposition is always
+// internally monotone.
+func (h *Histogram) snapshotCumulative(cum *[HistogramBuckets]uint64) uint64 {
+	var running uint64
+	for i := range h.buckets {
+		running += h.buckets[i].Load()
+		cum[i] = running
+	}
+	return running + h.overflow.Load()
+}
+
+// instrument is one registered series' value.
+type instrument struct {
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// series is one (labels, instrument) pair inside a family.
+type series struct {
+	labels string // canonical rendered label set, "" or `{k="v",...}`
+	inst   instrument
+}
+
+// family groups every series sharing a metric name: one HELP/TYPE pair,
+// many label sets.
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter" | "gauge" | "histogram"
+	series []*series
+	byKey  map[string]*series
+}
+
+// Registry holds instrument families and renders them as Prometheus
+// text exposition. The zero value is not usable; call NewRegistry.
+// All methods are safe for concurrent use; instrument handles returned
+// from it are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Default is the process-wide registry: package-level instrumentation
+// (sharded rotations, adaptive control-loop counters) registers here,
+// and the filter server serves it at GET /metrics.
+var Default = NewRegistry()
+
+// getSeries resolves (name, labels) to its series, creating family and
+// series on first use. Registering one name with two different types is
+// a programming error and panics.
+func (r *Registry) getSeries(name, help, typ string, labels []string) *series {
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, byKey: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	s := f.byKey[key]
+	if s == nil {
+		s = &series{labels: key}
+		f.byKey[key] = s
+		f.series = append(f.series, s)
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+	}
+	return s
+}
+
+// Counter returns the counter series (name, labels), creating it on
+// first use. labels are alternating key/value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	s := r.getSeries(name, help, "counter", labels)
+	if s.inst.counter == nil {
+		s.inst.counter = new(Counter)
+	}
+	return s.inst.counter
+}
+
+// Gauge returns the gauge series (name, labels), creating it on first
+// use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	s := r.getSeries(name, help, "gauge", labels)
+	if s.inst.gauge == nil {
+		s.inst.gauge = new(Gauge)
+	}
+	return s.inst.gauge
+}
+
+// GaugeFunc registers (or replaces) a callback-backed gauge series: fn
+// is evaluated at render time, so the exposition always reflects live
+// state (registry memory use, shard skew) without a write on every
+// change.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	s := r.getSeries(name, help, "gauge", labels)
+	s.inst.fn = fn
+}
+
+// Histogram returns the histogram series (name, labels), creating it on
+// first use. By convention histogram names end in _ns: buckets are
+// powers of two nanoseconds.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	s := r.getSeries(name, help, "histogram", labels)
+	if s.inst.hist == nil {
+		s.inst.hist = new(Histogram)
+	}
+	return s.inst.hist
+}
+
+// Remove drops the series (name, labels) — the per-filter lifecycle
+// hook: a deleted filter's series must not linger in the exposition
+// forever. Removing the last series keeps the (now empty) family
+// registered so HELP/TYPE stay stable; removing a series that does not
+// exist is a no-op.
+func (r *Registry) Remove(name string, labels ...string) {
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		return
+	}
+	if _, ok := f.byKey[key]; !ok {
+		return
+	}
+	delete(f.byKey, key)
+	for i, s := range f.series {
+		if s.labels == key {
+			f.series = append(f.series[:i], f.series[i+1:]...)
+			break
+		}
+	}
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// families sorted by name, series by label signature.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Snapshot the family structure under the lock; instrument values are
+	// read lock-free afterwards (they are atomics).
+	fams := make([]*family, len(names))
+	sers := make([][]*series, len(names))
+	for i, name := range names {
+		f := r.families[name]
+		fams[i] = f
+		sers[i] = append([]*series(nil), f.series...)
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for i, f := range fams {
+		if len(sers[i]) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range sers[i] {
+			writeSeries(&b, f.name, s)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSeries(b *strings.Builder, name string, s *series) {
+	switch {
+	case s.inst.counter != nil:
+		fmt.Fprintf(b, "%s%s %d\n", name, s.labels, s.inst.counter.Value())
+	case s.inst.fn != nil:
+		fmt.Fprintf(b, "%s%s %s\n", name, s.labels, formatFloat(s.inst.fn()))
+	case s.inst.gauge != nil:
+		fmt.Fprintf(b, "%s%s %s\n", name, s.labels, formatFloat(s.inst.gauge.Value()))
+	case s.inst.hist != nil:
+		h := s.inst.hist
+		var cum [HistogramBuckets]uint64
+		total := h.snapshotCumulative(&cum)
+		for i, c := range cum {
+			fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(s.labels, "le", strconv.FormatUint(1<<uint(i), 10)), c)
+		}
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(s.labels, "le", "+Inf"), total)
+		fmt.Fprintf(b, "%s_sum%s %d\n", name, s.labels, h.Sum())
+		fmt.Fprintf(b, "%s_count%s %d\n", name, s.labels, total)
+	}
+}
+
+// Handler returns the GET /metrics handler.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// renderLabels canonicalizes alternating key/value pairs into the
+// exposition label syntax, sorted by key ("" for no labels). Odd-length
+// label lists are a programming error.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: odd label list (want key/value pairs)")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// withLabel appends one more label to an already-rendered label set
+// (the histogram le label).
+func withLabel(rendered, k, v string) string {
+	extra := k + `="` + escapeValue(v) + `"`
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+func escapeValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(h string) string {
+	if !strings.ContainsAny(h, "\\\n") {
+		return h
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(h)
+}
+
+// formatFloat renders a gauge value: integral values without an
+// exponent, everything else in Go's shortest round-trip form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the Prometheus text format end to end:
+// HELP/TYPE lines, label rendering and ordering, counter/gauge/
+// histogram series, and the cumulative histogram encoding.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_requests_total", "Requests served.", "op", "probe").Add(3)
+	r.Counter("test_requests_total", "Requests served.", "op", "insert").Add(1)
+	r.Gauge("test_temperature", "A gauge.").Set(1.5)
+	r.GaugeFunc("test_live", "A callback gauge.", func() float64 { return 42 })
+	h := r.Histogram("test_latency_ns", "A histogram.")
+	h.Observe(1) // bucket le=1
+	h.Observe(3) // bucket le=4
+	h.Observe(4) // bucket le=4
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	var want strings.Builder
+	want.WriteString("# HELP test_latency_ns A histogram.\n")
+	want.WriteString("# TYPE test_latency_ns histogram\n")
+	cum := 0
+	for i := 0; i < HistogramBuckets; i++ {
+		switch i {
+		case 0:
+			cum = 1
+		case 2:
+			cum = 3
+		}
+		fmt.Fprintf(&want, "test_latency_ns_bucket{le=\"%d\"} %d\n", uint64(1)<<uint(i), cum)
+	}
+	want.WriteString("test_latency_ns_bucket{le=\"+Inf\"} 3\n")
+	want.WriteString("test_latency_ns_sum 8\n")
+	want.WriteString("test_latency_ns_count 3\n")
+	want.WriteString("# HELP test_live A callback gauge.\n")
+	want.WriteString("# TYPE test_live gauge\n")
+	want.WriteString("test_live 42\n")
+	want.WriteString("# HELP test_requests_total Requests served.\n")
+	want.WriteString("# TYPE test_requests_total counter\n")
+	want.WriteString("test_requests_total{op=\"insert\"} 1\n")
+	want.WriteString("test_requests_total{op=\"probe\"} 3\n")
+	want.WriteString("# HELP test_temperature A gauge.\n")
+	want.WriteString("# TYPE test_temperature gauge\n")
+	want.WriteString("test_temperature 1.5\n")
+
+	if got != want.String() {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want.String())
+	}
+}
+
+// TestHistogramBucketMonotonicity observes a spread of values and
+// checks the rendered cumulative buckets never decrease and agree with
+// _count, which the exposition format requires.
+func TestHistogramBucketMonotonicity(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mono_ns", "monotonicity test")
+	var wantSum uint64
+	for i := int64(0); i < 5000; i++ {
+		v := (i * i * 2654435761) % (1 << 40) // spread over and past the finite range
+		h.Observe(v)
+		wantSum += uint64(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	prev := uint64(0)
+	buckets := 0
+	var infCount, count, sum uint64
+	for _, line := range strings.Split(b.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "mono_ns_bucket{le=\"+Inf\"}"):
+			infCount, _ = strconv.ParseUint(strings.Fields(line)[1], 10, 64)
+		case strings.HasPrefix(line, "mono_ns_bucket"):
+			v, err := strconv.ParseUint(strings.Fields(line)[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			if v < prev {
+				t.Fatalf("bucket counts decreased: %d after %d in %q", v, prev, line)
+			}
+			prev = v
+			buckets++
+		case strings.HasPrefix(line, "mono_ns_count"):
+			count, _ = strconv.ParseUint(strings.Fields(line)[1], 10, 64)
+		case strings.HasPrefix(line, "mono_ns_sum"):
+			sum, _ = strconv.ParseUint(strings.Fields(line)[1], 10, 64)
+		}
+	}
+	if buckets != HistogramBuckets {
+		t.Fatalf("%d finite buckets rendered, want %d", buckets, HistogramBuckets)
+	}
+	if infCount < prev {
+		t.Fatalf("+Inf bucket %d below last finite bucket %d", infCount, prev)
+	}
+	if count != 5000 || infCount != 5000 {
+		t.Fatalf("count %d, +Inf %d, want 5000", count, infCount)
+	}
+	if sum != wantSum {
+		t.Fatalf("sum %d, want %d", sum, wantSum)
+	}
+}
+
+// TestHistogramBucketIndex pins the value→bucket mapping at the edges.
+func TestHistogramBucketIndex(t *testing.T) {
+	for _, tc := range []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1 << 35, 35}, {1<<35 + 1, 36},
+	} {
+		if got := bucketIndex(tc.v); got != tc.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+// TestConcurrentObserve hammers one histogram and one counter from many
+// goroutines while rendering concurrently; run under -race this is the
+// data-race gate for the hot-path instruments.
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_ns", "concurrent observe")
+	c := r.Counter("conc_total", "concurrent count")
+	const workers, perWorker = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(int64(w*1000 + i))
+				c.Inc()
+			}
+		}(w)
+	}
+	// Render while observers are running: the snapshot must stay
+	// internally consistent (monotone cumulative buckets).
+	for i := 0; i < 10; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count %d, want %d", got, workers*perWorker)
+	}
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestObserveZeroAllocs is the allocation gate for the hot path: an
+// Observe or a counter Add must not allocate, ever.
+func TestObserveZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("alloc_ns", "allocation gate")
+	c := r.Counter("alloc_total", "allocation gate")
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(12345) }); allocs != 0 {
+		t.Fatalf("Histogram.Observe allocates %.1f objects/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { c.Add(2) }); allocs != 0 {
+		t.Fatalf("Counter.Add allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestRemoveSeries pins the per-filter lifecycle: a removed series
+// disappears from the exposition, the family's other series stay.
+func TestRemoveSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("life_total", "lifecycle", "filter", "a").Add(1)
+	r.Counter("life_total", "lifecycle", "filter", "b").Add(2)
+	r.Remove("life_total", "filter", "a")
+	r.Remove("life_total", "filter", "never-existed") // no-op
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, `filter="a"`) {
+		t.Fatalf("removed series still rendered:\n%s", out)
+	}
+	if !strings.Contains(out, `life_total{filter="b"} 2`) {
+		t.Fatalf("surviving series missing:\n%s", out)
+	}
+	// Re-creating the removed series starts from zero.
+	if v := r.Counter("life_total", "lifecycle", "filter", "a").Value(); v != 0 {
+		t.Fatalf("re-created series carries old value %d", v)
+	}
+}
+
+// TestGetOrCreateSemantics pins that registering the same (name,
+// labels) twice returns the same instrument — what lets package-level
+// and server-level instrumentation share the default registry.
+func TestGetOrCreateSemantics(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "x", "k", "v")
+	b := r.Counter("same_total", "x", "k", "v")
+	if a != b {
+		t.Fatal("same series returned distinct counters")
+	}
+	// Label order does not matter for identity.
+	g1 := r.Gauge("g", "x", "a", "1", "b", "2")
+	g2 := r.Gauge("g", "x", "b", "2", "a", "1")
+	if g1 != g2 {
+		t.Fatal("label order changed series identity")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type mismatch did not panic")
+		}
+	}()
+	r.Gauge("same_total", "x")
+}
+
+// BenchmarkObserve is the hot-path benchmark the issue gates on:
+// 0 allocs/op for the histogram Observe.
+func BenchmarkObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_ns", "benchmark")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+// BenchmarkObserveParallel measures contended Observe throughput (all
+// goroutines share one histogram's atomics).
+func BenchmarkObserveParallel(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("benchp_ns", "benchmark")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			h.Observe(i)
+			i++
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"perfilter/internal/obs"
+)
+
+// Metric names exported by the server layer. The sharded and adaptive
+// layers register their own instruments on the same process-wide
+// registry (see internal/sharded and the root adaptive control loop),
+// so one GET /metrics scrape covers every layer.
+const (
+	metricInsertDur   = "perfilter_server_insert_duration_ns"
+	metricProbeDur    = "perfilter_server_probe_duration_ns"
+	metricKeysIn      = "perfilter_server_keys_total"
+	metricDataIn      = "perfilter_server_data_in_bytes_total"
+	metricDataOut     = "perfilter_server_data_out_bytes_total"
+	metricRequests    = "perfilter_server_requests_total"
+	metricFilterProbe = "perfilter_server_filter_probe_keys_total"
+	metricFilterPos   = "perfilter_server_filter_probe_positives_total"
+	metricFilterIns   = "perfilter_server_filter_insert_keys_total"
+	metricShardSkew   = "perfilter_server_filter_shard_skew"
+	metricFilters     = "perfilter_server_filters"
+	metricUsedBits    = "perfilter_server_used_bits"
+	metricSnapshots   = "perfilter_server_snapshot_saves_total"
+	metricRestores    = "perfilter_server_snapshot_loads_total"
+)
+
+// serverMetrics holds the batch-plane instruments resolved once at
+// construction, so the insert/probe hot path is two atomic histogram
+// observes and a few counter adds — no registry lookups, no
+// allocations.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	insertDur *obs.Histogram // filter InsertBatch wall time per request
+	probeDur  *obs.Histogram // filter ContainsBatch wall time per request
+
+	insertKeys *obs.Counter // keys accepted on the insert plane
+	probeKeys  *obs.Counter // keys probed on the probe plane
+	dataIn     *obs.Counter // decoded data-plane payload bytes in
+	dataOut    *obs.Counter // selection-vector payload bytes out
+
+	insertReqs *obs.Counter // insert requests, by outcome
+	insertErrs *obs.Counter
+	probeReqs  *obs.Counter // probe requests, by outcome
+	probeErrs  *obs.Counter
+
+	snapshotOK  *obs.Counter // snapshot saves, by outcome
+	snapshotErr *obs.Counter
+	restoreOK   *obs.Counter // snapshot loads, by outcome
+	restoreErr  *obs.Counter
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		reg: reg,
+		insertDur: reg.Histogram(metricInsertDur,
+			"Wall time of the filter InsertBatch call serving one insert request."),
+		probeDur: reg.Histogram(metricProbeDur,
+			"Wall time of the filter ContainsBatch call serving one probe request."),
+		insertKeys: reg.Counter(metricKeysIn,
+			"Keys processed on the binary/JSON data plane, by operation.", "op", "insert"),
+		probeKeys: reg.Counter(metricKeysIn,
+			"Keys processed on the binary/JSON data plane, by operation.", "op", "probe"),
+		dataIn: reg.Counter(metricDataIn,
+			"Decoded data-plane payload bytes received (4 bytes per key)."),
+		dataOut: reg.Counter(metricDataOut,
+			"Selection-vector payload bytes sent (4 bytes per selected position)."),
+		insertReqs: reg.Counter(metricRequests,
+			"Data-plane requests, by operation and outcome.", "op", "insert", "outcome", "ok"),
+		insertErrs: reg.Counter(metricRequests,
+			"Data-plane requests, by operation and outcome.", "op", "insert", "outcome", "error"),
+		probeReqs: reg.Counter(metricRequests,
+			"Data-plane requests, by operation and outcome.", "op", "probe", "outcome", "ok"),
+		probeErrs: reg.Counter(metricRequests,
+			"Data-plane requests, by operation and outcome.", "op", "probe", "outcome", "error"),
+		snapshotOK: reg.Counter(metricSnapshots,
+			"Filter snapshot saves, by outcome.", "outcome", "ok"),
+		snapshotErr: reg.Counter(metricSnapshots,
+			"Filter snapshot saves, by outcome.", "outcome", "error"),
+		restoreOK: reg.Counter(metricRestores,
+			"Filter snapshot restores at startup, by outcome.", "outcome", "ok"),
+		restoreErr: reg.Counter(metricRestores,
+			"Filter snapshot restores at startup, by outcome.", "outcome", "error"),
+	}
+}
+
+// filterMetrics is one registered filter's per-name series, resolved at
+// create/restore time and dropped at delete time so the exposition
+// tracks the live registry. The positive-rate pair (positives/probes)
+// is the live FPR⋅σ estimate the paper's cost model consumes.
+type filterMetrics struct {
+	probeKeys  *obs.Counter
+	positives  *obs.Counter
+	insertKeys *obs.Counter
+}
+
+// registerFilter creates (or re-attaches, for a recreated name) the
+// per-filter series, including the shard-skew gauge, which is evaluated
+// against the live filter at scrape time.
+func (m *serverMetrics) registerFilter(name string, f skewer) *filterMetrics {
+	fm := &filterMetrics{
+		probeKeys: m.reg.Counter(metricFilterProbe,
+			"Keys probed against this filter.", "filter", name),
+		positives: m.reg.Counter(metricFilterPos,
+			"Positive (maybe-contained) probe answers from this filter — with "+
+				"probe keys, the live positive-rate estimate.", "filter", name),
+		insertKeys: m.reg.Counter(metricFilterIns,
+			"Keys inserted into this filter.", "filter", name),
+	}
+	m.reg.GaugeFunc(metricShardSkew,
+		"Per-shard insert imbalance, max/mean (1 = even).",
+		f.Skew, "filter", name)
+	return fm
+}
+
+// unregisterFilter drops the per-filter series.
+func (m *serverMetrics) unregisterFilter(name string) {
+	m.reg.Remove(metricFilterProbe, "filter", name)
+	m.reg.Remove(metricFilterPos, "filter", name)
+	m.reg.Remove(metricFilterIns, "filter", name)
+	m.reg.Remove(metricShardSkew, "filter", name)
+}
+
+// skewer is the slice of the adaptive filter the skew gauge needs.
+type skewer interface{ Skew() float64 }
+
+// registerRegistryGauges exports the server's registry-level state as
+// callback gauges: filter count and reserved bits (the memory budget's
+// numerator). Callbacks read live state at scrape time.
+func (m *serverMetrics) registerRegistryGauges(s *Server) {
+	m.reg.GaugeFunc(metricFilters,
+		"Registered filters.", func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			n := 0
+			for _, e := range s.filters {
+				if e.f != nil {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	m.reg.GaugeFunc(metricUsedBits,
+		"Bits reserved against the memory budget across all filters.", func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(s.usedBits)
+		})
+}

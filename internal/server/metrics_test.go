@@ -1,0 +1,322 @@
+package server
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"perfilter/internal/rng"
+)
+
+// metricsOut lets CI capture a real scrape as a build artifact:
+// go test ./internal/server -run TestMetricsExposition -metrics-out METRICS_sample.txt
+var metricsOut = flag.String("metrics-out", "",
+	"write the /metrics body scraped by TestMetricsExposition to this file")
+
+// scrape fetches /metrics and returns the exposition body.
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestMetricsExposition drives traffic through every instrumented layer —
+// server batch plane, sharded rotation machinery, adaptive control loop —
+// and asserts one /metrics scrape covers them all in well-formed
+// Prometheus text exposition.
+func TestMetricsExposition(t *testing.T) {
+	ts := httptest.NewServer(newQuiet(Options{}).Handler())
+	defer ts.Close()
+
+	// A cuckoo filter at a tw where bloom wins, so the forced migration
+	// below exercises the adaptive layer's migration counters too.
+	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{
+		Name: "obsmx", Kind: "cuckoo", MBits: 1 << 21, Shards: 2, Tw: 100,
+	}, http.StatusCreated)
+	r := rng.NewMT19937(321)
+	keys := make([]uint32, 20_000)
+	for i := range keys {
+		keys[i] = r.Uint32()
+	}
+	resp := postBinary(t, ts.URL+"/v1/filters/obsmx/insert", keys)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d", resp.StatusCode)
+	}
+	resp = postBinary(t, ts.URL+"/v1/filters/obsmx/probe", keys[:4096])
+	resp.Body.Close()
+	// Sharded layer: one rotation.
+	doJSON(t, "POST", ts.URL+"/v1/filters/obsmx/rotate", map[string]any{}, http.StatusOK)
+	// Adaptive layer: one forced kind-changing migration.
+	out := doJSON(t, "POST", ts.URL+"/v1/filters/obsmx/migrate", map[string]any{"force": true}, http.StatusOK)
+	if out["migrated"] != true {
+		t.Fatalf("migrate: %v", out)
+	}
+
+	body := scrape(t, ts)
+	if *metricsOut != "" {
+		if err := os.WriteFile(*metricsOut, []byte(body), 0o644); err != nil {
+			t.Fatalf("write %s: %v", *metricsOut, err)
+		}
+	}
+
+	// One instrument per layer, HELP/TYPE plus a concrete series.
+	for _, want := range []string{
+		// server batch plane
+		"# HELP perfilter_server_probe_duration_ns ",
+		"# TYPE perfilter_server_probe_duration_ns histogram",
+		"# TYPE perfilter_server_insert_duration_ns histogram",
+		`perfilter_server_keys_total{op="insert"}`,
+		`perfilter_server_keys_total{op="probe"}`,
+		`perfilter_server_requests_total{op="probe",outcome="ok"}`,
+		"perfilter_server_data_in_bytes_total ",
+		"perfilter_server_data_out_bytes_total ",
+		// server registry gauges and per-filter series
+		"# TYPE perfilter_server_filters gauge",
+		"perfilter_server_used_bits ",
+		`perfilter_server_filter_probe_keys_total{filter="obsmx"}`,
+		`perfilter_server_filter_probe_positives_total{filter="obsmx"}`,
+		`perfilter_server_filter_insert_keys_total{filter="obsmx"}`,
+		`perfilter_server_filter_shard_skew{filter="obsmx"}`,
+		// sharded rotation machinery
+		`perfilter_sharded_rotations_total{outcome="ok"}`,
+		"# TYPE perfilter_sharded_rotation_duration_ns histogram",
+		"# TYPE perfilter_sharded_dual_write_window_ns histogram",
+		// adaptive control loop
+		"# TYPE perfilter_adaptive_migrations_total counter",
+		"perfilter_adaptive_migrations_total{",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The per-filter series reflect this test's traffic (>= because the
+	// registry is process-wide and a -count>1 rerun accumulates).
+	checkSeriesAtLeast(t, body, `perfilter_server_filter_insert_keys_total{filter="obsmx"}`, uint64(len(keys)))
+	checkSeriesAtLeast(t, body, `perfilter_server_filter_probe_keys_total{filter="obsmx"}`, 4096)
+
+	// Histogram buckets must be cumulative (non-decreasing in le order,
+	// the rendered order) and end at a +Inf equal to _count.
+	checkHistogramShape(t, body, "perfilter_server_probe_duration_ns")
+	checkHistogramShape(t, body, "perfilter_server_insert_duration_ns")
+	checkHistogramShape(t, body, "perfilter_sharded_rotation_duration_ns")
+
+	// Deleting the filter retires its per-name series.
+	doJSON(t, "DELETE", ts.URL+"/v1/filters/obsmx", nil, http.StatusOK)
+	if after := scrape(t, ts); strings.Contains(after, `{filter="obsmx"}`) {
+		t.Error("per-filter series survived filter deletion")
+	}
+}
+
+func checkSeriesAtLeast(t *testing.T, body, series string, min uint64) {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, series+" ") {
+			continue
+		}
+		v, err := strconv.ParseUint(strings.TrimPrefix(line, series+" "), 10, 64)
+		if err != nil {
+			t.Errorf("series %s: bad value in %q: %v", series, line, err)
+			return
+		}
+		if v < min {
+			t.Errorf("series %s = %d, want >= %d", series, v, min)
+		}
+		return
+	}
+	t.Errorf("series %s not found", series)
+}
+
+// checkHistogramShape verifies the exposition invariants of one rendered
+// histogram: buckets non-decreasing, +Inf present, _count equal to the
+// +Inf cumulative.
+func checkHistogramShape(t *testing.T, body, name string) {
+	t.Helper()
+	var (
+		prev      uint64
+		inf       uint64
+		infSeen   bool
+		count     uint64
+		countSeen bool
+		buckets   int
+	)
+	for _, line := range strings.Split(body, "\n") {
+		switch {
+		case strings.HasPrefix(line, name+"_bucket{"):
+			val, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("%s: bad bucket line %q: %v", name, line, err)
+			}
+			if val < prev {
+				t.Errorf("%s: bucket counts decreased (%d after %d) at %q", name, val, prev, line)
+			}
+			prev = val
+			buckets++
+			if strings.Contains(line, `le="+Inf"`) {
+				inf, infSeen = val, true
+			}
+		case strings.HasPrefix(line, name+"_count"):
+			val, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("%s: bad count line %q: %v", name, line, err)
+			}
+			count, countSeen = val, true
+		}
+	}
+	if buckets == 0 {
+		t.Errorf("histogram %s not found in exposition", name)
+		return
+	}
+	if !infSeen {
+		t.Errorf("histogram %s has no +Inf bucket", name)
+	}
+	if !countSeen {
+		t.Errorf("histogram %s has no _count", name)
+	}
+	if infSeen && countSeen && inf != count {
+		t.Errorf("histogram %s: +Inf bucket %d != _count %d", name, inf, count)
+	}
+}
+
+// TestTraceEndpoint pins the decision-trace surface: after a migration
+// the trace holds at least one Migrated decision with the ρ comparison
+// fields, and the stats endpoint reports it as last_migration.
+func TestTraceEndpoint(t *testing.T) {
+	ts := httptest.NewServer(newQuiet(Options{}).Handler())
+	defer ts.Close()
+	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{
+		Name: "traced", Kind: "cuckoo", MBits: 1 << 21, Shards: 2, Tw: 100,
+	}, http.StatusCreated)
+
+	// An empty trace is a valid response, not an error.
+	tr := doJSON(t, "GET", ts.URL+"/v1/filters/traced/trace", nil, http.StatusOK)
+	if tr["total"].(float64) != 0 {
+		t.Fatalf("fresh filter trace total = %v", tr["total"])
+	}
+
+	r := rng.NewMT19937(55)
+	keys := make([]uint32, 50_000)
+	for i := range keys {
+		keys[i] = r.Uint32()
+	}
+	resp := postBinary(t, ts.URL+"/v1/filters/traced/insert", keys)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d", resp.StatusCode)
+	}
+	resp = postBinary(t, ts.URL+"/v1/filters/traced/probe", keys[:8192])
+	resp.Body.Close()
+
+	out := doJSON(t, "POST", ts.URL+"/v1/filters/traced/migrate", map[string]any{"force": true}, http.StatusOK)
+	if out["migrated"] != true {
+		t.Fatalf("migrate: %v", out)
+	}
+
+	tr = doJSON(t, "GET", ts.URL+"/v1/filters/traced/trace", nil, http.StatusOK)
+	if tr["name"] != "traced" {
+		t.Fatalf("trace name %v", tr["name"])
+	}
+	total := tr["total"].(float64)
+	decisions, _ := tr["decisions"].([]any)
+	if total < 1 || len(decisions) < 1 {
+		t.Fatalf("trace after migration: total %v, %d decisions", total, len(decisions))
+	}
+	if float64(len(decisions)) > total {
+		t.Fatalf("retained %d decisions but total says %v", len(decisions), total)
+	}
+	migrated := false
+	for _, raw := range decisions {
+		d := raw.(map[string]any)
+		for _, field := range []string{"at", "current", "best", "reason"} {
+			if _, ok := d[field]; !ok {
+				t.Fatalf("decision missing %q: %v", field, d)
+			}
+		}
+		if d["migrated"] == true {
+			migrated = true
+		}
+	}
+	if !migrated {
+		t.Fatal("no migrated decision in the trace after a forced migration")
+	}
+
+	// The stats endpoint surfaces the same event as last_migration.
+	st := doJSON(t, "GET", ts.URL+"/v1/filters/traced", nil, http.StatusOK)
+	lm, ok := st["last_migration"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats has no last_migration: %v", st)
+	}
+	if lm["from"] == nil || lm["to"] == nil || lm["at"] == nil {
+		t.Fatalf("last_migration incomplete: %v", lm)
+	}
+	if _, ok := st["uptime_seconds"].(float64); !ok {
+		t.Fatalf("stats has no uptime_seconds: %v", st)
+	}
+
+	doJSON(t, "GET", ts.URL+"/v1/filters/nope/trace", nil, http.StatusNotFound)
+}
+
+// TestHealthz pins the liveness payload: uptime plus build identity.
+func TestHealthz(t *testing.T) {
+	ts := httptest.NewServer(newQuiet(Options{}).Handler())
+	defer ts.Close()
+	out := doJSON(t, "GET", ts.URL+"/healthz", nil, http.StatusOK)
+	if out["status"] != "ok" {
+		t.Fatalf("healthz status %v", out["status"])
+	}
+	if up, ok := out["uptime_seconds"].(float64); !ok || up < 0 {
+		t.Fatalf("healthz uptime_seconds %v", out["uptime_seconds"])
+	}
+	gv, ok := out["go_version"].(string)
+	if !ok || !strings.HasPrefix(gv, "go") {
+		t.Fatalf("healthz go_version %v", out["go_version"])
+	}
+	if _, ok := out["vcs_revision"].(string); !ok {
+		t.Fatalf("healthz vcs_revision %v", out["vcs_revision"])
+	}
+}
+
+// TestPprofGated pins that the profiling surface is opt-in.
+func TestPprofGated(t *testing.T) {
+	off := httptest.NewServer(newQuiet(Options{}).Handler())
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof reachable without -pprof: status %d", resp.StatusCode)
+	}
+
+	on := httptest.NewServer(newQuiet(Options{Pprof: true}).Handler())
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof not mounted with Pprof: status %d", resp.StatusCode)
+	}
+}

@@ -29,7 +29,17 @@
 //	                                 fields) names an explicit target
 //	POST   /v1/filters/{name}/snapshot
 //	                                 persist the filter to the data dir
-//	GET    /healthz                  liveness
+//	GET    /v1/filters/{name}/trace  the control loop's recent Reoptimize
+//	                                 decisions (a fixed-size ring): for each
+//	                                 pass, the tracked window, ρ_cur vs
+//	                                 ρ_new, the hysteresis margin, and the
+//	                                 chosen configuration
+//	GET    /healthz                  liveness: uptime, Go version, VCS
+//	                                 revision
+//	GET    /metrics                  Prometheus text exposition for every
+//	                                 layer (server batch plane, sharded
+//	                                 rotation machinery, adaptive control
+//	                                 loop); see internal/obs
 //
 // Every filter is wrapped in perfilter.NewAdaptive: inserts and probes
 // feed atomic workload counters, and an append-only key log makes live
@@ -63,6 +73,13 @@
 // All handlers are safe for concurrent use: the registry is behind an
 // RWMutex and every filter is a perfilter.Sharded (per-shard locks,
 // scatter/gather batches, atomic rotation).
+//
+// Observability: every insert/probe batch is timed into log-bucketed
+// latency histograms, data-plane key and byte volumes are counted
+// globally and per filter, and control-plane events (create, delete,
+// rotate, migrate, snapshot, autotune) are logged structurally via
+// log/slog with the filter name, kind and generation. Options.Pprof
+// additionally mounts net/http/pprof under /debug/pprof/.
 package server
 
 import (
@@ -73,11 +90,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -85,6 +105,7 @@ import (
 
 	"perfilter"
 	"perfilter/internal/adaptive"
+	"perfilter/internal/obs"
 )
 
 // DefaultMaxBatchBytes caps data-plane request bodies (16 MiB = 4M keys).
@@ -129,9 +150,14 @@ type Options struct {
 	// Policy is the migration hysteresis rule shared by every filter
 	// (zero fields get the adaptive package's defaults).
 	Policy adaptive.Policy
-	// Logf receives operational log lines (mid-stream probe write
-	// failures, autotune decisions); nil means the standard logger.
-	Logf func(format string, args ...any)
+	// Logger receives structured operational events (control-plane
+	// lifecycle, autotune decisions, mid-stream probe write failures);
+	// nil means slog.Default().
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the returned
+	// handler (filter-server -pprof). Off by default: the profiling
+	// surface should be an explicit operator choice.
+	Pprof bool
 }
 
 // Server is the filter registry plus its HTTP handlers.
@@ -145,7 +171,10 @@ type Server struct {
 	dataDir   string
 	tw        float64
 	policy    adaptive.Policy
-	logf      func(format string, args ...any)
+	log       *slog.Logger
+	pprof     bool
+	started   time.Time
+	metrics   *serverMetrics
 	// bufs pools the binary data plane's per-request buffers (raw body,
 	// decoded keys, selection vector) so the probe hot path does not
 	// allocate per request.
@@ -169,6 +198,10 @@ type entry struct {
 	bits     uint64
 	rotating bool
 	created  time.Time
+	// m holds the filter's pre-resolved per-name metric series, written
+	// once before the entry is published so the data-plane hot path reads
+	// it without a lock or a registry lookup.
+	m *filterMetrics
 }
 
 // New returns an empty server.
@@ -189,16 +222,19 @@ func New(opts Options) *Server {
 	if tw == 0 {
 		tw = DefaultTw
 	}
-	logf := opts.Logf
-	if logf == nil {
-		logf = log.Printf
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
 	}
-	return &Server{
+	s := &Server{
 		filters:  make(map[string]*entry),
 		maxBytes: maxBytes, maxBits: maxBits, totalBits: totalBits,
 		dataDir: opts.DataDir, tw: tw, policy: opts.Policy.WithDefaults(),
-		logf: logf,
+		log: logger, pprof: opts.Pprof, started: time.Now(),
+		metrics: newServerMetrics(obs.Default),
 	}
+	s.metrics.registerRegistryGauges(s)
+	return s
 }
 
 // adaptiveOptions builds the per-filter adaptive wrapper options: the
@@ -220,20 +256,55 @@ func (s *Server) adaptiveOptions(tw, sigma, budget float64) perfilter.AdaptiveOp
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", obs.Default.Handler())
 	mux.HandleFunc("POST /v1/filters", s.handleCreate)
 	mux.HandleFunc("GET /v1/filters", s.handleList)
 	mux.HandleFunc("GET /v1/filters/{name}", s.handleStats)
 	mux.HandleFunc("DELETE /v1/filters/{name}", s.handleDelete)
 	mux.HandleFunc("POST /v1/filters/{name}/rotate", s.handleRotate)
 	mux.HandleFunc("GET /v1/filters/{name}/advice", s.handleAdvice)
+	mux.HandleFunc("GET /v1/filters/{name}/trace", s.handleTrace)
 	mux.HandleFunc("POST /v1/filters/{name}/migrate", s.handleMigrate)
 	mux.HandleFunc("POST /v1/filters/{name}/snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /v1/filters/{name}/insert", s.handleInsert)
 	mux.HandleFunc("POST /v1/filters/{name}/probe", s.handleProbe)
+	if s.pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// handleHealthz answers the liveness probe with enough identity to tell
+// *which* build has been up for how long: uptime, toolchain version, and
+// the VCS revision stamped into the binary (empty for un-stamped builds,
+// e.g. go test binaries).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"go_version":     runtime.Version(),
+		"vcs_revision":   buildRevision(),
+	})
+}
+
+// buildRevision returns the VCS revision recorded by the toolchain at
+// build time ("" when the binary was built outside a checkout).
+func buildRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" {
+			return kv.Value
+		}
+	}
+	return ""
 }
 
 // CreateRequest is the control-plane filter specification. Either give an
@@ -474,9 +545,19 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, fmt.Errorf("filter %q was deleted during creation", req.Name))
 		return
 	}
+	// Resolve the per-filter series under the registry lock, before the
+	// entry is published: the data-plane hot path reads e.m without
+	// synchronization, and a losing create must never replace a live
+	// filter's series (notably the skew gauge's callback). The obs
+	// registry never holds its lock while evaluating gauge callbacks, so
+	// nesting it under s.mu cannot deadlock.
+	e.m = s.metrics.registerFilter(req.Name, f)
 	s.usedBits += bits - mBits
 	s.filters[req.Name] = e
 	s.mu.Unlock()
+	s.log.Info("filter created",
+		"filter", req.Name, "kind", cfg.Kind.String(), "config", f.String(),
+		"bits", bits, "generation", f.Generation())
 	writeJSON(w, http.StatusCreated, e.info(req.Name))
 }
 
@@ -513,14 +594,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	st := e.f.Stats()
 	window, readMostly := e.f.WorkloadWindow()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"filter": e.infoFrom(name, st), "per_shard_counts": st.PerShard,
 		"tracked": e.f.Counters(), "key_log_bits": e.f.LogBits(),
 		// The since-last-migration window the control loop evaluates,
 		// and the read-mostly verdict gating the immutable xor family.
 		"window": window, "window_insert_fraction": window.InsertFraction(),
-		"read_mostly": readMostly,
-	})
+		"read_mostly":    readMostly,
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	}
+	if d, ok := e.f.LastMigration(); ok {
+		body["last_migration"] = map[string]any{
+			"at": d.At, "from": d.Current, "to": d.Best, "reason": d.Reason,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -544,6 +632,12 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		os.Remove(s.snapshotPath(name))
 		s.fileMu.Unlock()
 	}
+	s.metrics.unregisterFilter(name)
+	kind := ""
+	if e.f != nil {
+		kind = e.f.Config().Kind.String()
+	}
+	s.log.Info("filter deleted", "filter", name, "kind", kind)
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
 
@@ -616,6 +710,9 @@ func (s *Server) handleRotate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	s.log.Info("filter rotated",
+		"filter", name, "kind", e.f.Config().Kind.String(),
+		"bits", e.f.SizeBits(), "generation", e.f.Generation())
 	writeJSON(w, http.StatusOK, e.info(name))
 }
 
@@ -682,6 +779,28 @@ func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) {
 		Current: adviceSide(adv.Current), Best: adviceSide(adv.Best),
 		KindChange: adv.KindChange, WouldMigrate: adv.WouldMigrate,
 		Reason: adv.Reason, Decisions: e.f.Decisions(),
+	})
+}
+
+// TraceResponse is the trace endpoint's answer: the control loop's
+// recent Reoptimize decisions, oldest first. Total counts every decision
+// ever recorded, so a reader can tell how much history the fixed-size
+// ring has already dropped (total - len(decisions)).
+type TraceResponse struct {
+	Name      string              `json:"name"`
+	Total     uint64              `json:"total"`
+	Decisions []adaptive.Decision `json:"decisions"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	name, e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{
+		Name:      name,
+		Total:     e.f.TraceTotal(),
+		Decisions: e.f.Decisions(),
 	})
 }
 
@@ -796,6 +915,7 @@ func (s *Server) migrateEntry(name string, e *entry, cfg perfilter.Config, mBits
 	e.rotating = true
 	s.mu.Unlock()
 
+	fromKind := e.f.Config().Kind.String()
 	err := e.f.Migrate(cfg, mBits)
 
 	s.mu.Lock()
@@ -812,8 +932,13 @@ func (s *Server) migrateEntry(name string, e *entry, cfg perfilter.Config, mBits
 	e.rotating = false
 	s.mu.Unlock()
 	if err != nil {
+		s.log.Warn("filter migration failed",
+			"filter", name, "kind", fromKind, "target", cfg.String(), "err", err)
 		return http.StatusBadRequest, errBody(err)
 	}
+	s.log.Info("filter migrated",
+		"filter", name, "from", fromKind, "to", cfg.Kind.String(),
+		"config", cfg.String(), "bits", e.f.SizeBits(), "generation", e.f.Generation())
 	return http.StatusOK, map[string]any{
 		"migrated": true, "config": cfg.String(), "mbits": mBits,
 		"filter": e.info(name),
@@ -893,9 +1018,10 @@ func (s *Server) StartAutotune(ctx context.Context, interval time.Duration) {
 				for _, res := range s.AutotuneOnce() {
 					switch {
 					case res.Err != "":
-						s.logf("autotune: %s: %s", res.Name, res.Err)
+						s.log.Warn("autotune pass failed", "filter", res.Name, "err", res.Err)
 					case res.Migrated:
-						s.logf("autotune: %s: migrated to %s (%s)", res.Name, res.Config, res.Reason)
+						s.log.Info("autotune migrated filter",
+							"filter", res.Name, "config", res.Config, "reason", res.Reason)
 					}
 				}
 			}
@@ -921,6 +1047,20 @@ var errDeletedDuringSnapshot = errors.New("filter was deleted during snapshot")
 // registered entry, so a racing DELETE can neither be resurrected by
 // this snapshot nor have a successor's snapshot clobbered by it.
 func (s *Server) saveSnapshot(name string, e *entry) (int, error) {
+	n, err := s.saveSnapshotInner(name, e)
+	if err != nil {
+		s.metrics.snapshotErr.Inc()
+		s.log.Warn("snapshot save failed", "filter", name, "err", err)
+		return n, err
+	}
+	s.metrics.snapshotOK.Inc()
+	s.log.Info("snapshot saved",
+		"filter", name, "kind", e.f.Config().Kind.String(),
+		"generation", e.f.Generation(), "bytes", n, "path", s.snapshotPath(name))
+	return n, nil
+}
+
+func (s *Server) saveSnapshotInner(name string, e *entry) (int, error) {
 	data, err := perfilter.Marshal(e.f)
 	if err != nil {
 		return 0, fmt.Errorf("marshal %q: %w", name, err)
@@ -1082,6 +1222,8 @@ func (s *Server) LoadAll() (int, error) {
 			}
 		}
 		if err != nil {
+			s.metrics.restoreErr.Inc()
+			s.log.Warn("snapshot restore failed", "snapshot", de.Name(), "err", err)
 			errs = append(errs, fmt.Errorf("snapshot %q: %w", de.Name(), err))
 			continue
 		}
@@ -1093,19 +1235,33 @@ func (s *Server) LoadAll() (int, error) {
 		}
 		e := &entry{f: f, bits: bits, created: created}
 		s.mu.Lock()
+		var rejected error
 		switch {
 		case s.filters[name] != nil:
-			errs = append(errs, fmt.Errorf("snapshot %q: filter already registered", name))
+			rejected = fmt.Errorf("snapshot %q: filter already registered", name)
 		case bits > s.maxBits:
-			errs = append(errs, fmt.Errorf("snapshot %q: %d bits exceeds the per-filter cap of %d", name, bits, s.maxBits))
+			rejected = fmt.Errorf("snapshot %q: %d bits exceeds the per-filter cap of %d", name, bits, s.maxBits)
 		case s.usedBits+bits > s.totalBits:
-			errs = append(errs, fmt.Errorf("snapshot %q: %d bits exceeds the remaining budget of %d", name, bits, remaining(s.totalBits, s.usedBits)))
+			rejected = fmt.Errorf("snapshot %q: %d bits exceeds the remaining budget of %d", name, bits, remaining(s.totalBits, s.usedBits))
 		default:
+			// Series registration precedes publication (see handleCreate
+			// for the ordering rationale).
+			e.m = s.metrics.registerFilter(name, f)
 			s.usedBits += bits
 			s.filters[name] = e
 			loaded++
 		}
 		s.mu.Unlock()
+		if rejected != nil {
+			s.metrics.restoreErr.Inc()
+			s.log.Warn("snapshot restore rejected", "snapshot", de.Name(), "err", rejected)
+			errs = append(errs, rejected)
+			continue
+		}
+		s.metrics.restoreOK.Inc()
+		s.log.Info("snapshot restored",
+			"filter", name, "kind", f.Config().Kind.String(),
+			"generation", f.Generation(), "bits", bits)
 	}
 	return loaded, errors.Join(errs...)
 }
@@ -1150,11 +1306,18 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	defer s.putBuffers(pb)
 	keys, err := s.readKeys(r, pb)
 	if err != nil {
+		s.metrics.insertErrs.Inc()
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	start := time.Now()
 	inserted, err := e.f.InsertBatch(keys)
+	s.metrics.insertDur.Observe(time.Since(start).Nanoseconds())
+	s.metrics.dataIn.Add(uint64(4 * len(keys)))
+	s.metrics.insertKeys.Add(uint64(inserted))
+	e.m.insertKeys.Add(uint64(inserted))
 	if err != nil {
+		s.metrics.insertErrs.Inc()
 		// Cuckoo saturation. inserted is a count, not an input-order
 		// prefix (the batch is applied shard by shard): the caller
 		// should rotate to a larger size and replay the whole batch.
@@ -1163,6 +1326,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	s.metrics.insertReqs.Inc()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"inserted": inserted, "count": e.f.Count(),
 	})
@@ -1177,11 +1341,20 @@ func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
 	defer s.putBuffers(pb)
 	keys, err := s.readKeys(r, pb)
 	if err != nil {
+		s.metrics.probeErrs.Inc()
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	start := time.Now()
 	sel := e.f.ContainsBatch(keys, pb.sel[:0])
 	pb.sel = sel
+	s.metrics.probeDur.Observe(time.Since(start).Nanoseconds())
+	s.metrics.dataIn.Add(uint64(4 * len(keys)))
+	s.metrics.dataOut.Add(uint64(4 * len(sel)))
+	s.metrics.probeKeys.Add(uint64(len(keys)))
+	s.metrics.probeReqs.Inc()
+	e.m.probeKeys.Add(uint64(len(keys)))
+	e.m.positives.Add(uint64(len(sel)))
 	if r.URL.Query().Get("format") == "json" {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"probed": len(keys), "positions": sel,
@@ -1197,7 +1370,8 @@ func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
 		// read (Content-Length mismatch / cut connection), but the
 		// truncation must at least be visible server-side instead of
 		// passing silently for a complete response.
-		s.logf("server: probe %s: selection stream aborted after write error: %v", name, err)
+		s.log.Warn("probe selection stream aborted after write error",
+			"filter", name, "err", err)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -14,9 +15,16 @@ import (
 	"perfilter/internal/rng"
 )
 
+// newQuiet builds a server whose structured log output is discarded, so
+// control-plane events exercised by tests do not spam the test log.
+func newQuiet(opts Options) *Server {
+	opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	return New(opts)
+}
+
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(New(Options{}).Handler())
+	ts := httptest.NewServer(newQuiet(Options{}).Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -316,7 +324,7 @@ func TestTotalMemoryBudget(t *testing.T) {
 	// Total budget fits two 1 Mbit filters but not three. The bloom kind
 	// builds at (almost exactly) the requested size; the budget accounts
 	// the built size, so kinds that round up (exact: 2x) reserve more.
-	ts := httptest.NewServer(New(Options{MaxTotalBits: 2 << 20}).Handler())
+	ts := httptest.NewServer(newQuiet(Options{MaxTotalBits: 2 << 20}).Handler())
 	defer ts.Close()
 	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{Name: "a", Kind: "bloom", MBits: 1 << 20}, http.StatusCreated)
 	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{Name: "b", Kind: "bloom", MBits: 1 << 20}, http.StatusCreated)
@@ -334,7 +342,7 @@ func TestTotalMemoryBudget(t *testing.T) {
 // "kill and restart filter-server" scenario, minus the process boundary.
 func TestSnapshotRestartEquivalence(t *testing.T) {
 	dir := t.TempDir()
-	ts := httptest.NewServer(New(Options{DataDir: dir}).Handler())
+	ts := httptest.NewServer(newQuiet(Options{DataDir: dir}).Handler())
 	defer ts.Close()
 
 	nKeys := 100_000
@@ -389,7 +397,7 @@ func TestSnapshotRestartEquivalence(t *testing.T) {
 	}
 
 	// "Restart": a brand-new server restores from the same directory.
-	reg2 := New(Options{DataDir: dir})
+	reg2 := newQuiet(Options{DataDir: dir})
 	loaded, err := reg2.LoadAll()
 	if err != nil {
 		t.Fatalf("LoadAll: %v", err)
@@ -423,7 +431,7 @@ func TestSnapshotRestartEquivalence(t *testing.T) {
 
 	// Restored filters count against the budget: a tiny-budget server
 	// must refuse to restore what it cannot hold.
-	regTiny := New(Options{DataDir: dir, MaxTotalBits: 1})
+	regTiny := newQuiet(Options{DataDir: dir, MaxTotalBits: 1})
 	loaded, err = regTiny.LoadAll()
 	if loaded != 0 || err == nil {
 		t.Fatalf("tiny-budget restore: loaded %d, err %v", loaded, err)
@@ -431,7 +439,7 @@ func TestSnapshotRestartEquivalence(t *testing.T) {
 
 	// A deleted filter's snapshot goes with it: no resurrection.
 	doJSON(t, "DELETE", ts2.URL+"/v1/filters/exact", nil, http.StatusOK)
-	reg3 := New(Options{DataDir: dir})
+	reg3 := newQuiet(Options{DataDir: dir})
 	if loaded, _ = reg3.LoadAll(); loaded != len(specs)-1 {
 		t.Fatalf("restored %d filters after delete, want %d", loaded, len(specs)-1)
 	}
@@ -534,7 +542,7 @@ func TestAdviceAndMigrateEndpoints(t *testing.T) {
 // TestMigrateBudgetAccounting pins that migrations reserve against the
 // total memory budget like rotations do.
 func TestMigrateBudgetAccounting(t *testing.T) {
-	ts := httptest.NewServer(New(Options{MaxTotalBits: 3 << 20}).Handler())
+	ts := httptest.NewServer(newQuiet(Options{MaxTotalBits: 3 << 20}).Handler())
 	defer ts.Close()
 	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{Name: "a", Kind: "bloom", MBits: 1 << 20}, http.StatusCreated)
 	doJSON(t, "POST", ts.URL+"/v1/filters", CreateRequest{Name: "b", Kind: "bloom", MBits: 1 << 20}, http.StatusCreated)
@@ -555,7 +563,7 @@ func TestMigrateBudgetAccounting(t *testing.T) {
 // tracked workload has outgrown its configuration is migrated by one
 // autotune sweep, keys intact.
 func TestAutotuneOnce(t *testing.T) {
-	reg := New(Options{})
+	reg := newQuiet(Options{})
 	ts := httptest.NewServer(reg.Handler())
 	defer ts.Close()
 	// Sized and advised for 4k keys; it will see 200k.
@@ -602,6 +610,18 @@ func TestAutotuneOnce(t *testing.T) {
 	if !migrated {
 		t.Fatal("autotune never migrated the outgrown filter")
 	}
+	// The control loop's verdicts land in the decision trace: at least one
+	// retained decision must be the migration that just happened.
+	tr := doJSON(t, "GET", ts.URL+"/v1/filters/grower/trace", nil, http.StatusOK)
+	traceMigrated := false
+	for _, raw := range tr["decisions"].([]any) {
+		if raw.(map[string]any)["migrated"] == true {
+			traceMigrated = true
+		}
+	}
+	if !traceMigrated {
+		t.Fatalf("no migrated decision in the trace after autotune: %v", tr)
+	}
 	// Every acknowledged key is still present.
 	resp := postBinary(t, ts.URL+"/v1/filters/grower/probe", keys)
 	buf := new(bytes.Buffer)
@@ -620,7 +640,7 @@ func TestAutotuneOnce(t *testing.T) {
 // hot path (the satellite fix pools the body, key and selection buffers;
 // before pooling every request allocated all three).
 func BenchmarkProbeHandlerAllocs(b *testing.B) {
-	s := New(Options{})
+	s := newQuiet(Options{})
 	handler := s.Handler()
 	// Create a filter and fill it through the handler stack.
 	createBody, _ := json.Marshal(CreateRequest{Name: "bench", Kind: "bloom", MBits: 1 << 22, Shards: 2})

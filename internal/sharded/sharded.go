@@ -5,9 +5,30 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"perfilter/internal/core"
 	"perfilter/internal/hashing"
+	"perfilter/internal/obs"
+)
+
+// Rotation instrumentation, on the process-wide registry: rotations are
+// the sharded layer's only slow path, and their durations — especially
+// the dual-write window, during which every insert pays double — are
+// exactly what an operator needs to see before trusting live migration
+// under load. Aggregated across filters; the server adds per-filter
+// series where the distinction matters.
+var (
+	mRotations = obs.Default.Counter("perfilter_sharded_rotations_total",
+		"Completed generation rotations (including migrations), by outcome.", "outcome", "ok")
+	mRotationAborts = obs.Default.Counter("perfilter_sharded_rotations_total",
+		"Completed generation rotations (including migrations), by outcome.", "outcome", "error")
+	mRotationDur = obs.Default.Histogram("perfilter_sharded_rotation_duration_ns",
+		"Wall time of one generation rotation, construction through swap.")
+	mSealDur = obs.Default.Histogram("perfilter_sharded_seal_duration_ns",
+		"Wall time sealing build-once (xor/fuse) shards inside a rotation.")
+	mDualWriteDur = obs.Default.Histogram("perfilter_sharded_dual_write_window_ns",
+		"Length of the dual-write window: staging published until staging cleared.")
 )
 
 // Key is the key type shared with the rest of the repository.
@@ -533,6 +554,18 @@ func (f *Filter) ContainsBatch(keys []Key, sel core.SelVec) core.SelVec {
 // writers append to before inserting with a fill that replays it, and
 // the two windows overlap — no acknowledged write is ever lost.
 func (f *Filter) Rotate(factory Factory, fill func(insert func(Key) error) error) error {
+	start := time.Now()
+	err := f.rotate(factory, fill)
+	mRotationDur.Observe(time.Since(start).Nanoseconds())
+	if err != nil {
+		mRotationAborts.Inc()
+	} else {
+		mRotations.Inc()
+	}
+	return err
+}
+
+func (f *Filter) rotate(factory Factory, fill func(insert func(Key) error) error) error {
 	f.rotateMu.Lock()
 	defer f.rotateMu.Unlock()
 	if factory == nil {
@@ -549,12 +582,19 @@ func (f *Filter) Rotate(factory Factory, fill func(insert func(Key) error) error
 	}
 	// Open the dual-write window before fill starts: from here until just
 	// after the swap, concurrent writers also insert into ng, covering
-	// every key a fill-side snapshot (e.g. a log read) can miss.
+	// every key a fill-side snapshot (e.g. a log read) can miss. The
+	// window length is observed on every exit path — it is the interval
+	// during which writers pay for two inserts per key.
+	windowStart := time.Now()
+	closeWindow := func() {
+		f.staging.Store(nil)
+		mDualWriteDur.Observe(time.Since(windowStart).Nanoseconds())
+	}
 	f.staging.Store(ng)
 	if fill != nil {
 		insert := func(key Key) error { return f.insertInto(ng, key) }
 		if err := fill(insert); err != nil {
-			f.staging.Store(nil)
+			closeWindow()
 			return fmt.Errorf("sharded: rotation fill: %w", err)
 		}
 	}
@@ -563,22 +603,27 @@ func (f *Filter) Rotate(factory Factory, fill func(insert func(Key) error) error
 	// generation. Dual-writers may keep inserting into ng concurrently —
 	// the shard lock serializes them against the seal, and keys arriving
 	// after it take the shard's overflow path.
-	for i, s := range ng.shards {
-		sealer, ok := s.f.(Sealer)
-		if !ok {
-			break // generations are homogeneous; no shard seals
+	if _, seals := ng.shards[0].f.(Sealer); seals {
+		sealStart := time.Now()
+		for i, s := range ng.shards {
+			sealer, ok := s.f.(Sealer)
+			if !ok {
+				break // generations are homogeneous; no shard seals
+			}
+			s.mu.Lock()
+			err := sealer.Seal()
+			s.mu.Unlock()
+			if err != nil {
+				mSealDur.Observe(time.Since(sealStart).Nanoseconds())
+				closeWindow()
+				return fmt.Errorf("sharded: seal shard %d: %w", i, err)
+			}
 		}
-		s.mu.Lock()
-		err := sealer.Seal()
-		s.mu.Unlock()
-		if err != nil {
-			f.staging.Store(nil)
-			return fmt.Errorf("sharded: seal shard %d: %w", i, err)
-		}
+		mSealDur.Observe(time.Since(sealStart).Nanoseconds())
 	}
 	f.factory = factory
 	f.gen.Store(ng)
-	f.staging.Store(nil)
+	closeWindow()
 	return nil
 }
 
@@ -658,6 +703,30 @@ func (f *Filter) Stats() Stats {
 		st.Count += st.PerShard[i]
 	}
 	return st
+}
+
+// Skew reports the insert-count imbalance across shards as max/mean
+// (1.0 = perfectly balanced; P = everything on one shard). An empty
+// filter reports 1. The partition hash should keep this near 1; a
+// drifting skew gauge means the key distribution is defeating it, which
+// degrades both the contention win and the per-shard FPR model.
+func (f *Filter) Skew() float64 {
+	g := f.gen.Load()
+	var total, max uint64
+	for _, s := range g.shards {
+		s.mu.RLock()
+		c := s.count
+		s.mu.RUnlock()
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	mean := float64(total) / float64(len(g.shards))
+	return float64(max) / mean
 }
 
 // Snapshot is a point-in-time serialized image of a sharded filter: the
