@@ -128,11 +128,16 @@ func (h *Histogram) snapshotCumulative(cum *[HistogramBuckets]uint64) uint64 {
 	return running + h.overflow.Load()
 }
 
-// instrument is one registered series' value.
+// instrument is one registered series' value. counter/gauge/hist are
+// written at most once, under the registry lock, before the series is
+// ever returned to a caller — so WritePrometheus may read them without
+// the lock after snapshotting the series slice. fn is the exception:
+// GaugeFunc replaces it on every call, so it lives behind an atomic
+// pointer.
 type instrument struct {
 	counter *Counter
 	gauge   *Gauge
-	fn      func() float64
+	fn      atomic.Pointer[func() float64]
 	hist    *Histogram
 }
 
@@ -172,9 +177,13 @@ func NewRegistry() *Registry {
 var Default = NewRegistry()
 
 // getSeries resolves (name, labels) to its series, creating family and
-// series on first use. Registering one name with two different types is
-// a programming error and panics.
-func (r *Registry) getSeries(name, help, typ string, labels []string) *series {
+// series on first use. init runs on the series' instrument while the
+// registry lock is still held, so two concurrent get-or-create calls
+// for the same new series can never each build their own instrument,
+// and a concurrent WritePrometheus never observes a half-initialized
+// one. Registering one name with two different types is a programming
+// error and panics.
+func (r *Registry) getSeries(name, help, typ string, labels []string, init func(*instrument)) *series {
 	key := renderLabels(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -193,26 +202,29 @@ func (r *Registry) getSeries(name, help, typ string, labels []string) *series {
 		f.series = append(f.series, s)
 		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
 	}
+	init(&s.inst)
 	return s
 }
 
 // Counter returns the counter series (name, labels), creating it on
 // first use. labels are alternating key/value pairs.
 func (r *Registry) Counter(name, help string, labels ...string) *Counter {
-	s := r.getSeries(name, help, "counter", labels)
-	if s.inst.counter == nil {
-		s.inst.counter = new(Counter)
-	}
+	s := r.getSeries(name, help, "counter", labels, func(in *instrument) {
+		if in.counter == nil {
+			in.counter = new(Counter)
+		}
+	})
 	return s.inst.counter
 }
 
 // Gauge returns the gauge series (name, labels), creating it on first
 // use.
 func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
-	s := r.getSeries(name, help, "gauge", labels)
-	if s.inst.gauge == nil {
-		s.inst.gauge = new(Gauge)
-	}
+	s := r.getSeries(name, help, "gauge", labels, func(in *instrument) {
+		if in.gauge == nil {
+			in.gauge = new(Gauge)
+		}
+	})
 	return s.inst.gauge
 }
 
@@ -221,18 +233,20 @@ func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
 // state (registry memory use, shard skew) without a write on every
 // change.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
-	s := r.getSeries(name, help, "gauge", labels)
-	s.inst.fn = fn
+	r.getSeries(name, help, "gauge", labels, func(in *instrument) {
+		in.fn.Store(&fn)
+	})
 }
 
 // Histogram returns the histogram series (name, labels), creating it on
 // first use. By convention histogram names end in _ns: buckets are
 // powers of two nanoseconds.
 func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
-	s := r.getSeries(name, help, "histogram", labels)
-	if s.inst.hist == nil {
-		s.inst.hist = new(Histogram)
-	}
+	s := r.getSeries(name, help, "histogram", labels, func(in *instrument) {
+		if in.hist == nil {
+			in.hist = new(Histogram)
+		}
+	})
 	return s.inst.hist
 }
 
@@ -297,11 +311,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 func writeSeries(b *strings.Builder, name string, s *series) {
+	fn := s.inst.fn.Load()
 	switch {
 	case s.inst.counter != nil:
 		fmt.Fprintf(b, "%s%s %d\n", name, s.labels, s.inst.counter.Value())
-	case s.inst.fn != nil:
-		fmt.Fprintf(b, "%s%s %s\n", name, s.labels, formatFloat(s.inst.fn()))
+	case fn != nil:
+		fmt.Fprintf(b, "%s%s %s\n", name, s.labels, formatFloat((*fn)()))
 	case s.inst.gauge != nil:
 		fmt.Fprintf(b, "%s%s %s\n", name, s.labels, formatFloat(s.inst.gauge.Value()))
 	case s.inst.hist != nil:

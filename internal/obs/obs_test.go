@@ -164,6 +164,41 @@ func TestConcurrentObserve(t *testing.T) {
 	}
 }
 
+// TestConcurrentRegistration races get-or-create of the *same new*
+// series from many goroutines against GaugeFunc replacement and
+// rendering: every caller must land on one shared instrument (no
+// increments lost to a duplicate), and none of it may trip -race.
+// This is the server's real pattern — POST /v1/filters registers
+// per-filter series while GET /metrics scrapes.
+func TestConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("reg_total", "racing registration", "i", strconv.Itoa(i)).Inc()
+				r.Histogram("reg_ns", "racing registration", "i", strconv.Itoa(i)).Observe(int64(i))
+				r.GaugeFunc("reg_fn", "racing replacement", func() float64 { return float64(w) })
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	for i := 0; i < 200; i++ {
+		if v := r.Counter("reg_total", "racing registration", "i", strconv.Itoa(i)).Value(); v != workers {
+			t.Fatalf("series i=%d counted %d increments, want %d (duplicate instrument?)", i, v, workers)
+		}
+	}
+}
+
 // TestObserveZeroAllocs is the allocation gate for the hot path: an
 // Observe or a counter Add must not allocate, ever.
 func TestObserveZeroAllocs(t *testing.T) {

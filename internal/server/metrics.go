@@ -35,7 +35,7 @@ type serverMetrics struct {
 	insertDur *obs.Histogram // filter InsertBatch wall time per request
 	probeDur  *obs.Histogram // filter ContainsBatch wall time per request
 
-	insertKeys *obs.Counter // keys accepted on the insert plane
+	insertKeys *obs.Counter // keys submitted on the insert plane
 	probeKeys  *obs.Counter // keys probed on the probe plane
 	dataIn     *obs.Counter // decoded data-plane payload bytes in
 	dataOut    *obs.Counter // selection-vector payload bytes out

@@ -618,6 +618,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if ok {
 		delete(s.filters, name)
 		s.usedBits -= e.bits
+		// Drop the per-filter series while s.mu is still held: a
+		// concurrent create re-registering the same name does so under
+		// s.mu too, so a delayed unregister can never tear down the
+		// recreated filter's live series.
+		s.metrics.unregisterFilter(name)
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -632,7 +637,6 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		os.Remove(s.snapshotPath(name))
 		s.fileMu.Unlock()
 	}
-	s.metrics.unregisterFilter(name)
 	kind := ""
 	if e.f != nil {
 		kind = e.f.Config().Kind.String()
@@ -1314,7 +1318,10 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	inserted, err := e.f.InsertBatch(keys)
 	s.metrics.insertDur.Observe(time.Since(start).Nanoseconds())
 	s.metrics.dataIn.Add(uint64(4 * len(keys)))
-	s.metrics.insertKeys.Add(uint64(inserted))
+	// Keys submitted, matching the probe series' semantics; the
+	// per-filter series below counts keys actually accepted (the two
+	// differ only when a cuckoo shard saturates mid-batch).
+	s.metrics.insertKeys.Add(uint64(len(keys)))
 	e.m.insertKeys.Add(uint64(inserted))
 	if err != nil {
 		s.metrics.insertErrs.Inc()
