@@ -529,12 +529,12 @@ func (a *Adaptive) adviceAt(lastMigration time.Time, baseline adaptive.Counters,
 		sinceLast = time.Since(lastMigration)
 	}
 	ok, reason := a.opts.Policy.ShouldMigrate(cur.Overhead, best.Overhead, adv.Counters.Inserts, sinceLast)
-	if !ok && cur.Config.Kind == Xor && !w.ReadMostly && best.Config.Kind != Xor &&
+	if !ok && !KindMutable(cur.Config.Kind) && !w.ReadMostly && KindMutable(best.Config.Kind) &&
 		adv.Window.Inserts >= a.opts.Policy.MinInserts &&
 		a.opts.Policy.CooldownCleared(sinceLast) {
-		// Writes resumed on an immutable filter: the deployed xor table
-		// cannot absorb them (they pile up in overflow buffers and the
-		// key log), so move back to a mutable family even when the
+		// Writes resumed on an immutable filter: the deployed build-once
+		// table cannot absorb them (they pile up in overflow buffers and
+		// the key log), so move back to a mutable family even when the
 		// modeled ρ gap alone would not clear the hysteresis margin.
 		ok = true
 		reason = fmt.Sprintf("writes resumed on an immutable filter (%d inserts, %.1f%% of the window)",

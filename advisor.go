@@ -202,12 +202,10 @@ func EvaluateOverhead(w Workload, cfg Config, mBits uint64) (Advice, error) {
 	tl := machine.LookupCycles(mc, mBits)
 	f := mc.FPR(mBits, w.N)
 	rho := model.Overhead(tl, f, w.Tw)
-	if mc.Kind == model.KindXor {
-		// Price the deployed immutable filter the same way Advise prices
-		// a candidate one: its writes cost a key-log rebuild, amortized
-		// over the lookup budget.
-		rho += model.XorBuildSurcharge(w.Tw)
-	}
+	// Price a deployed immutable filter the same way Advise prices a
+	// candidate one: its writes cost a key-log rebuild, amortized over the
+	// lookup budget. Mutable families carry no surcharge (zero).
+	rho += model.BuildSurchargeFor(mc.Kind, w.Tw)
 	return Advice{
 		Config:       cfg,
 		MBits:        mBits,

@@ -19,7 +19,12 @@
 //
 // Usage:
 //
-//	filter-bench [-fig 3|5|9|14|15|xor|ablation] [-quick] [-size MiB] [-json BENCH_fig14.json]
+//	filter-bench [-fig 3|5|9|14|15|<family>|ablation] [-quick] [-size MiB] [-json BENCH_fig14.json]
+//
+// Family tokens (today: xor) come from the filter registry: a -fig value
+// naming a registered constructible kind with a runner in familyFigs runs
+// that family's measured experiment.
+//
 //	filter-bench -parallel N [-shards P] [-quick] [-size MiB] [-json BENCH_parallel.json]
 //	filter-bench -adaptive [-tw cycles] [-quick] [-json BENCH_adaptive.json]
 package main
@@ -28,15 +33,54 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"perfilter"
 	"perfilter/internal/bench"
 	"perfilter/internal/blocked"
 	"perfilter/internal/core"
 	"perfilter/internal/model"
 )
 
+// familyFigs maps a filter-family name to its measured family experiment.
+// The accepted tokens are the intersection of this map with the filter
+// registry's constructible kinds, so a family renamed or removed from the
+// registry drops out of the -fig vocabulary without touching this file,
+// and registering a new family with a runner here adds its token.
+var familyFigs = map[string]struct {
+	header string
+	run    func(bench.Effort) []bench.Series
+}{
+	"xor": {
+		header: "# Xor/fuse family: build (solve) throughput and probe cost vs the Bloom baseline",
+		run:    bench.XorThroughput,
+	},
+}
+
+// figTokens enumerates the accepted -fig values: the numbered figures,
+// the registry-derived family experiments, and the ablation.
+func figTokens() []string {
+	toks := []string{"3", "5", "9", "14", "15"}
+	for _, name := range perfilter.KindNames() {
+		if _, ok := familyFigs[name]; ok {
+			toks = append(toks, name)
+		}
+	}
+	return append(toks, "ablation")
+}
+
+// familyFig resolves a -fig token to a family experiment, requiring the
+// token to name a registered constructible kind.
+func familyFig(tok string) (header string, run func(bench.Effort) []bench.Series, ok bool) {
+	if _, registered := perfilter.KindByName(tok); !registered || tok == "" {
+		return "", nil, false
+	}
+	e, ok := familyFigs[tok]
+	return e.header, e.run, ok
+}
+
 func main() {
-	fig := flag.String("fig", "14", "experiment: 3, 5, 9, 14, 15, xor or ablation")
+	fig := flag.String("fig", "14", "experiment: "+strings.Join(figTokens(), ", "))
 	quick := flag.Bool("quick", false, "short measurements (noisier)")
 	sizeMiB := flag.Uint64("size", 256, "large-filter size in MiB (figures 5, 9 and -parallel)")
 	parallel := flag.Int("parallel", 0, "run the parallel-throughput experiment across 1..N goroutines")
@@ -114,17 +158,20 @@ func main() {
 			fmt.Println("# Figure 15: batch-kernel speedups (host; see EXPERIMENTS.md for the SIMD gap)")
 			fig15 = bench.Fig15BatchSpeedup(eff)
 			fmt.Print(bench.FormatFig15(fig15))
-		case "xor":
-			fmt.Println("# Xor/fuse family: build (solve) throughput and probe cost vs the Bloom baseline")
-			series = bench.XorThroughput(eff)
-			fmt.Print(bench.Format(series))
 		case "ablation":
 			fmt.Println("# Ablation: cuckoo bucket size at tw=2^14 (the b=2 finding, §6)")
 			series = []bench.Series{bench.AblationCuckooBucket(1<<14, eff)}
 			fmt.Print(bench.Format(series))
 		default:
-			fmt.Fprintln(os.Stderr, "filter-bench: unknown experiment", *fig)
-			os.Exit(1)
+			header, run, ok := familyFig(*fig)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "filter-bench: unknown experiment %q (accepted: %s)\n",
+					*fig, strings.Join(figTokens(), ", "))
+				os.Exit(1)
+			}
+			fmt.Println(header)
+			series = run(eff)
+			fmt.Print(bench.Format(series))
 		}
 	}
 

@@ -7,19 +7,61 @@
 //
 // Usage:
 //
-//	filter-fpr [-fig 4|4k|7|8|xor]
+//	filter-fpr [-fig 4|4k|7|8|<family>]
+//
+// Family tokens (today: xor) come from the filter registry: a -fig value
+// naming a registered constructible kind with a runner in familyFigs
+// prints that family's measured-vs-modeled table.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"perfilter"
 	"perfilter/internal/bench"
 )
 
+// familyFigs maps a filter-family name to its measured FPR experiment.
+// Accepted tokens are the intersection of this map with the filter
+// registry's constructible kinds, so the -fig vocabulary tracks the
+// registry rather than a hand-maintained list.
+var familyFigs = map[string]struct {
+	header string
+	run    func() string
+}{
+	"xor": {
+		header: "# Measured vs modeled FPR, all families (100k keys, disjoint probes)",
+		run:    func() string { return bench.FormatMeasuredFPR(bench.MeasuredFPRRows(100_000)) },
+	},
+}
+
+// figTokens enumerates the accepted -fig values: the analytic tables plus
+// the registry-derived family experiments.
+func figTokens() []string {
+	toks := []string{"4", "4k", "7", "8"}
+	for _, name := range perfilter.KindNames() {
+		if _, ok := familyFigs[name]; ok {
+			toks = append(toks, name)
+		}
+	}
+	return toks
+}
+
+// familyFig resolves a -fig token to a family experiment, requiring the
+// token to name a registered constructible kind.
+func familyFig(tok string) (header string, run func() string, ok bool) {
+	if _, registered := perfilter.KindByName(tok); !registered || tok == "" {
+		return "", nil, false
+	}
+	e, ok := familyFigs[tok]
+	return e.header, e.run, ok
+}
+
 func main() {
-	fig := flag.String("fig", "4", "table to print: 4 (FPR), 4k (optimal k), 7, 8, xor (measured vs model, all families)")
+	fig := flag.String("fig", "4", "table to print: "+strings.Join(figTokens(), ", "))
 	flag.Parse()
 
 	switch *fig {
@@ -35,11 +77,14 @@ func main() {
 	case "8":
 		fmt.Println("# Figure 8: cuckoo filter FPR by signature length and bucket size")
 		fmt.Print(bench.Format(bench.Fig8CuckooFPR()))
-	case "xor":
-		fmt.Println("# Measured vs modeled FPR, all families (100k keys, disjoint probes)")
-		fmt.Print(bench.FormatMeasuredFPR(bench.MeasuredFPRRows(100_000)))
 	default:
-		fmt.Fprintln(os.Stderr, "filter-fpr: unknown figure", *fig)
-		os.Exit(1)
+		header, run, ok := familyFig(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "filter-fpr: unknown figure %q (accepted: %s)\n",
+				*fig, strings.Join(figTokens(), ", "))
+			os.Exit(1)
+		}
+		fmt.Println(header)
+		fmt.Print(run())
 	}
 }

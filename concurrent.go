@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"perfilter/internal/registry"
 	"perfilter/internal/sharded"
 )
 
@@ -98,20 +99,27 @@ func (s *Sharded) factory(perShardBits uint64) sharded.Factory {
 }
 
 // factoryFor builds one shard of the given size, in bits for every kind:
-// Exact shards go through NewExact directly so a small per-shard split
+// the descriptor's NewShard override (the exact set's bits regime) takes
+// precedence over its standalone constructor, so a small per-shard split
 // never lands in New's below-2^16 capacity-hint regime. cfg is captured by
 // value: the factory outlives the Rotate/Migrate call that installed it,
 // and must keep building the generation it was made for even after a later
 // Migrate changes the wrapper's configuration.
 func factoryFor(cfg Config, perShardBits uint64) sharded.Factory {
-	if cfg.Kind == Exact {
-		capacity := perShardBits / 64
-		if capacity == 0 {
-			capacity = 1
+	return func() (sharded.Inner, error) {
+		mc, err := cfg.toModel()
+		if err != nil {
+			return nil, err
 		}
-		return func() (sharded.Inner, error) { return NewExact(int(capacity)), nil }
+		d := registry.Lookup(mc.Kind)
+		if !d.Constructible() {
+			return nil, fmt.Errorf("perfilter: no registered family for kind %s", cfg.Kind)
+		}
+		if d.NewShard != nil {
+			return d.NewShard(mc, perShardBits)
+		}
+		return d.New(mc, perShardBits)
 	}
-	return func() (sharded.Inner, error) { return New(cfg, perShardBits) }
 }
 
 // Insert implements Filter; it is safe for concurrent use (the interface

@@ -16,11 +16,11 @@ import (
 // written as BENCH_*.json so CI can archive throughput/FPR trajectories
 // across commits instead of scraping stdout.
 type Summary struct {
-	Experiment string       `json:"experiment"`
-	Quick      bool         `json:"quick"`
-	SizeMiB    uint64       `json:"size_mib"`
-	GoMaxProcs int          `json:"gomaxprocs"`
-	NumCPU     int          `json:"num_cpu"`
+	Experiment string           `json:"experiment"`
+	Quick      bool             `json:"quick"`
+	SizeMiB    uint64           `json:"size_mib"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
 	Series     []Series         `json:"series"`
 	Fig15      []Fig15Row       `json:"fig15,omitempty"`
 	Adaptive   *AdaptiveSummary `json:"adaptive,omitempty"`

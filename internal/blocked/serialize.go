@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"perfilter/internal/core"
+	"perfilter/internal/magic"
 )
 
 // Serialization lets filters travel: the distributed semi-join use case
@@ -14,8 +15,9 @@ import (
 // architecture; word order is canonicalized to little-endian.
 
 // WireMagic is the first little-endian uint32 of every serialized blocked
-// filter; the perfilter package dispatches decoders on it.
-const WireMagic = 0x70664C42 // "pfLB"
+// filter; the perfilter package dispatches decoders on it. The value is
+// assigned centrally in internal/magic alongside every other format's.
+const WireMagic = magic.WireBlocked // "pfLB"
 
 const (
 	wireMagic   = WireMagic

@@ -3,6 +3,8 @@ package bloom
 import (
 	"encoding/binary"
 	"fmt"
+
+	"perfilter/internal/magic"
 )
 
 // Serialization mirrors package blocked's: a fixed little-endian header
@@ -11,8 +13,9 @@ import (
 // architecture.
 
 // WireMagic is the first little-endian uint32 of every serialized classic
-// filter; the perfilter package dispatches decoders on it.
-const WireMagic = 0x70664C4B // "pfLK"
+// filter; the perfilter package dispatches decoders on it. The value is
+// assigned centrally in internal/magic alongside every other format's.
+const WireMagic = magic.WireClassic // "pfLK"
 
 const (
 	wireVersion = 1

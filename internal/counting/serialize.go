@@ -3,6 +3,8 @@ package counting
 import (
 	"encoding/binary"
 	"fmt"
+
+	"perfilter/internal/magic"
 )
 
 // Serialization mirrors package blocked's: a fixed little-endian header
@@ -10,8 +12,10 @@ import (
 // raw counter words, canonicalized to little-endian.
 
 // WireMagic is the first little-endian uint32 of every serialized
-// counting filter; the perfilter package dispatches decoders on it.
-const WireMagic = 0x70664C4E // "pfLN"
+// counting filter; the perfilter package dispatches decoders on it. The
+// value is assigned centrally in internal/magic alongside every other
+// format's.
+const WireMagic = magic.WireCounting // "pfLN"
 
 const (
 	wireVersion = 1

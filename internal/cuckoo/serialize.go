@@ -3,6 +3,8 @@ package cuckoo
 import (
 	"encoding/binary"
 	"fmt"
+
+	"perfilter/internal/magic"
 )
 
 // Serialization mirrors package blocked's: a fixed little-endian header
@@ -10,8 +12,9 @@ import (
 // survives the round trip with no false negatives.
 
 // WireMagic is the first little-endian uint32 of every serialized cuckoo
-// filter; the perfilter package dispatches decoders on it.
-const WireMagic = 0x70664C43 // "pfLC"
+// filter; the perfilter package dispatches decoders on it. The value is
+// assigned centrally in internal/magic alongside every other format's.
+const WireMagic = magic.WireCuckoo // "pfLC"
 
 const (
 	wireMagic   = WireMagic

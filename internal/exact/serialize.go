@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"perfilter/internal/core"
+	"perfilter/internal/magic"
 )
 
 // Serialization stores the table verbatim — every slot's key and probe
@@ -13,8 +14,9 @@ import (
 // Hood displacements differently.
 
 // WireMagic is the first little-endian uint32 of every serialized exact
-// set; the perfilter package dispatches decoders on it.
-const WireMagic = 0x70664C45 // "pfLE"
+// set; the perfilter package dispatches decoders on it. The value is
+// assigned centrally in internal/magic alongside every other format's.
+const WireMagic = magic.WireExact // "pfLE"
 
 const (
 	wireVersion = 1

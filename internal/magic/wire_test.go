@@ -1,0 +1,36 @@
+package magic
+
+import "testing"
+
+// TestWireMagicsUnique guards the wire-format namespace: every serialized
+// filter's leading uint32 must select exactly one decoder, so no two
+// formats may share a magic.
+func TestWireMagicsUnique(t *testing.T) {
+	seen := make(map[uint32]int)
+	for i, m := range WireMagics() {
+		if prev, dup := seen[m]; dup {
+			t.Errorf("wire magic %#08x assigned twice (entries %d and %d)", m, prev, i)
+		}
+		seen[m] = i
+	}
+	if len(seen) != 9 {
+		t.Errorf("expected 9 wire magics, found %d", len(seen))
+	}
+}
+
+// TestWireMagicsASCII documents the mnemonic: read high byte to low, every
+// magic spells "pfL?" with a distinct family letter (so the hex literal
+// 0x70664C42 reads as "pfLB").
+func TestWireMagicsASCII(t *testing.T) {
+	letters := make(map[byte]bool)
+	for _, m := range WireMagics() {
+		hi, b1, b2, lo := byte(m>>24), byte(m>>16), byte(m>>8), byte(m)
+		if hi != 'p' || b1 != 'f' || b2 != 'L' {
+			t.Errorf("magic %#08x does not spell pfL? (got %c%c%c%c)", m, hi, b1, b2, lo)
+		}
+		if letters[lo] {
+			t.Errorf("magic family letter %c reused", lo)
+		}
+		letters[lo] = true
+	}
+}

@@ -19,7 +19,6 @@ import (
 	"perfilter/internal/blocked"
 	"perfilter/internal/bloom"
 	"perfilter/internal/cuckoo"
-	"perfilter/internal/fpr"
 	"perfilter/internal/magic"
 	"perfilter/internal/xor"
 )
@@ -50,20 +49,10 @@ const (
 func NumKinds() int { return int(numKinds) }
 
 func (k Kind) String() string {
-	switch k {
-	case KindBlockedBloom:
-		return "bloom"
-	case KindClassicBloom:
-		return "classic"
-	case KindCuckoo:
-		return "cuckoo"
-	case KindExact:
-		return "exact"
-	case KindXor:
-		return "xor"
-	default:
-		return "invalid"
+	if sp := specOf(k); sp != nil {
+		return sp.name
 	}
+	return "invalid"
 }
 
 // Config is a tagged union over the filter families' parameter types.
@@ -77,54 +66,26 @@ type Config struct {
 
 // Validate checks the embedded parameters.
 func (c Config) Validate() error {
-	switch c.Kind {
-	case KindBlockedBloom:
-		return c.Bloom.Validate()
-	case KindClassicBloom:
-		return c.Classic.Validate()
-	case KindCuckoo:
-		return c.Cuckoo.Validate()
-	case KindXor:
-		return c.Xor.Validate()
-	case KindExact:
-		return nil
-	default:
-		return fmt.Errorf("model: invalid kind %d", c.Kind)
+	if sp := specOf(c.Kind); sp != nil {
+		return sp.validate(c)
 	}
+	return fmt.Errorf("model: invalid kind %d", c.Kind)
 }
 
 // String renders the configuration.
 func (c Config) String() string {
-	switch c.Kind {
-	case KindBlockedBloom:
-		return c.Bloom.String()
-	case KindClassicBloom:
-		return c.Classic.String()
-	case KindCuckoo:
-		return c.Cuckoo.String()
-	case KindXor:
-		return c.Xor.String()
-	case KindExact:
-		return "exact[robin-hood]"
-	default:
-		return "invalid"
+	if sp := specOf(c.Kind); sp != nil {
+		return sp.render(c)
 	}
+	return "invalid"
 }
 
 // FPR returns the analytic false-positive rate at size mBits with n keys.
 func (c Config) FPR(mBits, n uint64) float64 {
-	switch c.Kind {
-	case KindBlockedBloom:
-		return c.Bloom.FPR(mBits, n)
-	case KindClassicBloom:
-		return c.Classic.FPR(mBits, n)
-	case KindCuckoo:
-		return c.Cuckoo.FPR(mBits, n)
-	case KindXor:
-		return c.Xor.FPR()
-	default: // exact
-		return 0
+	if sp := specOf(c.Kind); sp != nil {
+		return sp.fpr(c, mBits, n)
 	}
+	return 0
 }
 
 // Feasible reports whether a filter of mBits can actually be built holding
@@ -136,42 +97,27 @@ func (c Config) FPR(mBits, n uint64) float64 {
 // (≈1.23 slots/key, ≈1.13 for fuse) — below that the build fails for any
 // seed.
 func (c Config) Feasible(mBits, n uint64) bool {
-	switch c.Kind {
-	case KindCuckoo:
-		alpha := float64(c.Cuckoo.TagBits) * float64(n) / float64(mBits)
-		return alpha <= fpr.CuckooMaxLoad(c.Cuckoo.BucketSize)
-	case KindXor:
-		return mBits >= c.Xor.SizeForKeys(n)
-	default:
-		return true
+	if sp := specOf(c.Kind); sp != nil && sp.feasible != nil {
+		return sp.feasible(c, mBits, n)
 	}
+	return true
 }
 
 // GranuleBits is the sizing granule: filters round their size up to whole
 // granules (block for blocked Bloom, bucket for cuckoo, bit for classic).
 func (c Config) GranuleBits() uint32 {
-	switch c.Kind {
-	case KindBlockedBloom:
-		return c.Bloom.BlockBits
-	case KindCuckoo:
-		return c.Cuckoo.TagBits * c.Cuckoo.BucketSize
-	default:
-		return 1
+	if sp := specOf(c.Kind); sp != nil && sp.granule != nil {
+		return sp.granule(c)
 	}
+	return 1
 }
 
 // usesMagic reports whether the configuration uses magic-modulo addressing.
 func (c Config) usesMagic() bool {
-	switch c.Kind {
-	case KindBlockedBloom:
-		return c.Bloom.Magic
-	case KindClassicBloom:
-		return c.Classic.Magic
-	case KindCuckoo:
-		return c.Cuckoo.Magic
-	default:
-		return false
+	if sp := specOf(c.Kind); sp != nil && sp.usesMagic != nil {
+		return sp.usesMagic(c)
 	}
+	return false
 }
 
 // ActualBits applies the same size rounding the constructors apply, without
@@ -181,7 +127,7 @@ func (c Config) usesMagic() bool {
 // budget (see ExactBits and xor.Params.SizeForKeys); for them the request
 // is returned unchanged.
 func (c Config) ActualBits(desired uint64) uint64 {
-	if c.Kind == KindExact || c.Kind == KindXor {
+	if SizedByKeys(c.Kind) {
 		return desired
 	}
 	g := uint64(c.GranuleBits())
@@ -251,22 +197,10 @@ func nextPow2(x uint64) uint64 {
 // k·log2(m) to k·log2(B) + log2(m/B)). Block/bucket addressing consumes a
 // fixed 32 bits in this implementation regardless of addressing mode.
 func (c Config) HashBits() float64 {
-	switch c.Kind {
-	case KindBlockedBloom:
-		p := c.Bloom
-		g := p.Sectors() / p.Z
-		return 32 + float64(p.Z)*log2f(g) + float64(p.K)*log2f(p.SectorBits)
-	case KindClassicBloom:
-		return float64(c.Classic.K) * 32
-	case KindCuckoo:
-		return 32 + float64(c.Cuckoo.TagBits)
-	case KindXor:
-		// One 64-bit mix yields all three slot addresses and the
-		// fingerprint.
-		return 64
-	default:
-		return 32
+	if sp := specOf(c.Kind); sp != nil {
+		return sp.hashBits(c)
 	}
+	return 32
 }
 
 // LinesAccessed returns how many cache lines one lookup touches: the
@@ -277,19 +211,8 @@ func (c Config) HashBits() float64 {
 // confines them to three adjacent small segments, which keeps them within
 // one or two lines/pages in practice — modelled as two.
 func (c Config) LinesAccessed() float64 {
-	switch c.Kind {
-	case KindBlockedBloom:
-		return 1
-	case KindClassicBloom:
-		return float64(c.Classic.K)
-	case KindCuckoo:
-		return 2
-	case KindXor:
-		if c.Xor.Fuse {
-			return 2
-		}
-		return 3
-	default:
-		return 1
+	if sp := specOf(c.Kind); sp != nil {
+		return sp.lines(c)
 	}
+	return 1
 }

@@ -65,51 +65,12 @@ func (m Machine) ScalarLookupCycles(c Config, mBits uint64) float64 {
 // cpu grows with consumed hash bits, words touched and the modulo choice;
 // memCost interpolates across the cache hierarchy by the probability that a
 // uniformly random line of an m-bit filter resides in each level.
+// Each family's term lives in its spec file (spec_<family>.go).
 func (m Machine) Cycles(c Config, mBits uint64, simd bool) float64 {
-	mem := m.memCost(float64(mBits) / 8)
-	switch c.Kind {
-	case KindBlockedBloom:
-		p := c.Bloom
-		cpu := 2.0 + 0.06*c.HashBits() + 1.0*float64(p.WordsAccessed())
-		cpu += m.modCost(c.usesMagic(), 1)
-		if simd {
-			cpu = cpu/m.simdSpeedup(p.WordBits, 1) + 0.5
-		}
-		return cpu + mem
-	case KindCuckoo:
-		p := c.Cuckoo
-		// Tag hash + alternate index + two SWAR bucket compares.
-		cpu := 3.0 + 0.06*c.HashBits() + 1.5
-		cpu += m.modCost(p.Magic, 2) // two bucket indexes (Eq. 11)
-		if simd {
-			cpu = cpu/m.simdSpeedup(32, m.CuckooSIMDPenalty) + 1.0
-		}
-		return cpu + 2*mem
-	case KindClassicBloom:
-		// Negative probes short-circuit after ≈2 bit tests at typical
-		// loads; each probe is an independent hash + line access. No SIMD
-		// (§7: the refill scheme never paid off).
-		probes := 2.0
-		if k := float64(c.Classic.K); k < probes {
-			probes = k
-		}
-		cpu := 2.0 + probes*(2.0+m.modCost(c.Classic.Magic, 1))
-		return cpu + probes*mem
-	case KindXor:
-		// One 64-bit mix, three multiply-shift reductions, three loads
-		// and an xor-compare; the three loads are independent, so the
-		// batched kernel pipelines them like a gather.
-		cpu := 2.0 + 0.06*c.HashBits() + 1.5
-		if simd {
-			cpu = cpu/m.simdSpeedup(32, 1.0) + 0.5
-		}
-		return cpu + c.LinesAccessed()*mem
-	case KindExact:
-		// Robin-Hood probe: short chains, usually one line, no SIMD.
-		return 6.0 + 1.3*mem
-	default:
-		return 0
+	if sp := specOf(c.Kind); sp != nil {
+		return sp.cycles(m, c, mBits, simd)
 	}
+	return 0
 }
 
 // XorBuildCyclesPerKey is the modeled construction cost of the xor/fuse

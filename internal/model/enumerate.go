@@ -9,10 +9,10 @@ import (
 )
 
 // EnumHints describes the workload properties that gate which filter
-// families a sweep or the advisor enumerates. It is the single
-// registration point for families: adding a Kind means adding it to
-// EnumerableKinds and ConfigsFor, and every caller (Advise, the skyline
-// CLI, the adaptive control loop) picks it up.
+// families a sweep or the advisor enumerates. Eligibility is derived from
+// the kind-spec table: a family's spec_<family>.go file declares its gate,
+// and every caller (Advise, the skyline CLI, the adaptive control loop)
+// picks it up through EnumerableKinds and ConfigsFor.
 type EnumHints struct {
 	// FullSpace additionally enumerates the families the paper includes
 	// but never finds optimal (the classic Bloom baseline).
@@ -32,16 +32,15 @@ type EnumHints struct {
 // in Kind order. The two mutable families of the paper's headline sweep
 // are always included.
 func EnumerableKinds(h EnumHints) []Kind {
-	kinds := []Kind{KindBlockedBloom}
-	if h.FullSpace {
-		kinds = append(kinds, KindClassicBloom)
-	}
-	kinds = append(kinds, KindCuckoo)
-	if h.AllowExact {
-		kinds = append(kinds, KindExact)
-	}
-	if h.ReadMostly {
-		kinds = append(kinds, KindXor)
+	kinds := make([]Kind, 0, numKinds)
+	for k := Kind(0); k < numKinds; k++ {
+		sp := kindSpecs[k]
+		if sp == nil {
+			continue
+		}
+		if sp.gate == nil || sp.gate(h) {
+			kinds = append(kinds, k)
+		}
 	}
 	return kinds
 }
@@ -53,17 +52,8 @@ func EnumerableKinds(h EnumHints) []Kind {
 func ConfigsFor(kinds []Kind, full bool) []Config {
 	var out []Config
 	for _, k := range kinds {
-		switch k {
-		case KindBlockedBloom:
-			out = append(out, EnumerateBloom(full)...)
-		case KindClassicBloom:
-			out = append(out, EnumerateClassic()...)
-		case KindCuckoo:
-			out = append(out, EnumerateCuckoo(full)...)
-		case KindExact:
-			out = append(out, Config{Kind: KindExact})
-		case KindXor:
-			out = append(out, EnumerateXor()...)
+		if sp := specOf(k); sp != nil {
+			out = append(out, sp.enumerate(full)...)
 		}
 	}
 	return out

@@ -139,8 +139,8 @@ func ComputeSkyline(grid Grid, configs []Config, cost CostModel, opts SweepOpts)
 	mRatios := sizeRatios(opts)
 
 	for ci, cfg := range configs {
-		if cfg.Kind == KindExact || cfg.Kind == KindXor {
-			continue // handled below, sized by n
+		if SizedByKeys(cfg.Kind) {
+			continue // handled below, one point per n
 		}
 		for ni, n := range grid.Ns {
 			seen := make(map[uint64]bool, len(mRatios))
@@ -179,28 +179,28 @@ func ComputeSkyline(grid Grid, configs []Config, cost CostModel, opts SweepOpts)
 		}
 	}
 
-	// Xor/fuse configurations are sized by the key count, not by a byte
-	// budget: the solved table is ≈1.23·w (1.13·w fuse) bits per key and
-	// extra budget buys nothing. Each configuration therefore contributes
-	// one point per n, kept only when that point fits the budget, and its
-	// overhead carries the rebuild surcharge — the family is immutable, so
-	// it pays its construction out of the lookup budget (see
-	// XorBuildSurcharge).
+	// Sized-by-keys families (the xor/fuse table is ≈1.23·w, 1.13·w fuse,
+	// bits per key and extra budget buys nothing) contribute one point per
+	// n, kept only when that point fits the budget. Immutable families
+	// additionally carry the rebuild surcharge — a build-once structure
+	// pays its construction out of the lookup budget (see
+	// BuildSurchargeFor).
 	for _, cfg := range configs {
-		if cfg.Kind != KindXor {
+		sp := specOf(cfg.Kind)
+		if sp == nil || sp.sizeForKeys == nil || sp.budgetExempt {
 			continue
 		}
 		for ni, n := range grid.Ns {
-			mBits := cfg.Xor.SizeForKeys(n)
+			mBits := sp.sizeForKeys(cfg, n)
 			bpk := float64(mBits) / float64(n)
 			if bpk > opts.MaxBitsPerKey*1.0001 || bpk < opts.MinBitsPerKey*0.999 {
 				continue
 			}
-			f := cfg.Xor.FPR()
+			f := cfg.FPR(mBits, n)
 			tl := cost.LookupCycles(cfg, mBits)
 			for ti, tw := range grid.Tws {
-				rho := Overhead(tl, f, tw) + XorBuildSurcharge(tw)
-				b := &sky.Cells[ni][ti].ByKind[KindXor]
+				rho := Overhead(tl, f, tw) + BuildSurchargeFor(cfg.Kind, tw)
+				b := &sky.Cells[ni][ti].ByKind[cfg.Kind]
 				if rho < b.Rho {
 					*b = Best{Config: cfg, MBits: mBits, F: f, Tl: tl, Rho: rho}
 				}
@@ -208,18 +208,28 @@ func ComputeSkyline(grid Grid, configs []Config, cost CostModel, opts SweepOpts)
 		}
 	}
 
+	// Budget-exempt families (the exact set, f = 0) participate whenever
+	// their footprint fits the explicit byte cap.
 	if opts.MaxExactBytes > 0 {
-		exact := Config{Kind: KindExact}
-		for ni, n := range grid.Ns {
-			mBits := ExactBits(n)
-			if mBits/8 > opts.MaxExactBytes {
+		for k := Kind(0); k < numKinds; k++ {
+			sp := kindSpecs[k]
+			if sp == nil || !sp.budgetExempt || sp.sizeForKeys == nil {
 				continue
 			}
-			tl := cost.LookupCycles(exact, mBits)
-			for ti := range grid.Tws {
-				b := &sky.Cells[ni][ti].ByKind[KindExact]
-				if tl < b.Rho {
-					*b = Best{Config: exact, MBits: mBits, F: 0, Tl: tl, Rho: tl}
+			for _, cfg := range sp.enumerate(false) {
+				for ni, n := range grid.Ns {
+					mBits := sp.sizeForKeys(cfg, n)
+					if mBits/8 > opts.MaxExactBytes {
+						continue
+					}
+					f := cfg.FPR(mBits, n)
+					tl := cost.LookupCycles(cfg, mBits)
+					for ti := range grid.Tws {
+						b := &sky.Cells[ni][ti].ByKind[k]
+						if tl < b.Rho {
+							*b = Best{Config: cfg, MBits: mBits, F: f, Tl: tl, Rho: tl}
+						}
+					}
 				}
 			}
 		}
@@ -245,22 +255,13 @@ func sizeRatios(opts SweepOpts) []float64 {
 	return rs
 }
 
-// typeMapLetter is the one-character family legend of the type maps.
+// typeMapLetter is the one-character family legend of the type maps,
+// declared by each family's spec.
 func typeMapLetter(k Kind) byte {
-	switch k {
-	case KindBlockedBloom:
-		return 'B'
-	case KindClassicBloom:
-		return 'S' // the SIMD classic baseline, per the paper's naming
-	case KindCuckoo:
-		return 'C'
-	case KindExact:
-		return 'E'
-	case KindXor:
-		return 'X'
-	default:
-		return '?'
+	if sp := specOf(k); sp != nil {
+		return sp.letter
 	}
+	return '?'
 }
 
 // RenderTypeMap draws the Figure 10-style ASCII map: rows are problem

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"perfilter/internal/blocked"
+	"perfilter/internal/magic"
 )
 
 // Serialization nests package blocked's format: a fixed little-endian
@@ -14,8 +15,10 @@ import (
 // filter resumes growing exactly where the original left off.
 
 // WireMagic is the first little-endian uint32 of every serialized
-// scalable filter; the perfilter package dispatches decoders on it.
-const WireMagic = 0x70664C47 // "pfLG"
+// scalable filter; the perfilter package dispatches decoders on it. The
+// value is assigned centrally in internal/magic alongside every other
+// format's.
+const WireMagic = magic.WireScalable // "pfLG"
 
 const (
 	wireVersion    = 1

@@ -412,51 +412,41 @@ func buildConfig(req *CreateRequest) (perfilter.Config, uint64, int, error) {
 	if req.MBits == 0 {
 		return perfilter.Config{}, 0, 0, errors.New("mbits required (or give \"advise\")")
 	}
-	cfg := perfilter.Config{Magic: true}
-	switch req.Kind {
-	case "bloom", "":
-		cfg.Kind = perfilter.BlockedBloom
-		cfg.WordBits, cfg.BlockBits, cfg.SectorBits = 64, 512, 64
-		cfg.Groups, cfg.K = 2, 8 // cache-sectorized headline
-		if req.BlockBits != 0 {
-			cfg.BlockBits = req.BlockBits
-		}
-		if req.SectorBits != 0 {
-			cfg.SectorBits = req.SectorBits
-		}
-		if req.Groups != 0 {
-			cfg.Groups = req.Groups
-		}
-		if req.K != 0 {
-			cfg.K = req.K
-		}
-	case "classic":
-		cfg.Kind = perfilter.ClassicBloom
-		cfg.K = 7
-		if req.K != 0 {
-			cfg.K = req.K
-		}
-	case "cuckoo":
-		cfg.Kind = perfilter.Cuckoo
-		cfg.TagBits, cfg.BucketSize = 16, 2
-		if req.TagBits != 0 {
-			cfg.TagBits = req.TagBits
-		}
-		if req.BucketSize != 0 {
-			cfg.BucketSize = req.BucketSize
-		}
-	case "xor":
-		cfg.Kind = perfilter.Xor
-		cfg.Magic = false
-		cfg.FingerprintBits, cfg.Fuse = 8, req.Fuse
-		if req.FingerprintBits != 0 {
-			cfg.FingerprintBits = req.FingerprintBits
-		}
-	case "exact":
-		cfg.Kind = perfilter.Exact
-		cfg.Magic = false
-	default:
-		return perfilter.Config{}, 0, 0, fmt.Errorf("unknown kind %q", req.Kind)
+	// The kind vocabulary comes from the filter registry: any registered
+	// family name (or alias — "" selects the blocked-Bloom default)
+	// resolves; anything else is rejected naming the valid kinds. The
+	// resolved family's headline defaults seed the configuration, and the
+	// request's geometry fields override them (fields foreign to the kind
+	// are ignored by validation, as before).
+	kind, ok := perfilter.KindByName(req.Kind)
+	if !ok {
+		return perfilter.Config{}, 0, 0, fmt.Errorf("unknown kind %q (valid kinds: %s)",
+			req.Kind, strings.Join(perfilter.KindNames(), ", "))
+	}
+	cfg := perfilter.DefaultConfig(kind)
+	if req.BlockBits != 0 {
+		cfg.BlockBits = req.BlockBits
+	}
+	if req.SectorBits != 0 {
+		cfg.SectorBits = req.SectorBits
+	}
+	if req.Groups != 0 {
+		cfg.Groups = req.Groups
+	}
+	if req.K != 0 {
+		cfg.K = req.K
+	}
+	if req.TagBits != 0 {
+		cfg.TagBits = req.TagBits
+	}
+	if req.BucketSize != 0 {
+		cfg.BucketSize = req.BucketSize
+	}
+	if req.FingerprintBits != 0 {
+		cfg.FingerprintBits = req.FingerprintBits
+	}
+	if req.Fuse {
+		cfg.Fuse = true
 	}
 	if err := cfg.Validate(); err != nil {
 		return perfilter.Config{}, 0, 0, err

@@ -3,6 +3,8 @@ package xor
 import (
 	"encoding/binary"
 	"fmt"
+
+	"perfilter/internal/magic"
 )
 
 // Serialization mirrors the other families': a fixed little-endian header
@@ -12,8 +14,9 @@ import (
 // key lists so a snapshot taken mid-build or mid-rotation loses nothing.
 
 // WireMagic is the first little-endian uint32 of every serialized xor
-// filter; the perfilter package dispatches decoders on it.
-const WireMagic = 0x70664C58 // "pfLX"
+// filter; the perfilter package dispatches decoders on it. The value is
+// assigned centrally in internal/magic alongside every other format's.
+const WireMagic = magic.WireXor // "pfLX"
 
 const (
 	wireMagic   = WireMagic

@@ -46,6 +46,7 @@ import (
 	"perfilter/internal/cuckoo"
 	"perfilter/internal/exact"
 	"perfilter/internal/model"
+	"perfilter/internal/registry"
 	"perfilter/internal/xor"
 )
 
@@ -101,22 +102,9 @@ const (
 	Xor
 )
 
-func (k Kind) String() string {
-	switch k {
-	case BlockedBloom:
-		return "bloom"
-	case ClassicBloom:
-		return "classic"
-	case Cuckoo:
-		return "cuckoo"
-	case Exact:
-		return "exact"
-	case Xor:
-		return "xor"
-	default:
-		return "invalid"
-	}
-}
+// String returns the canonical kind name from the model's kind-spec table
+// (the public and model Kind spaces are numerically identical).
+func (k Kind) String() string { return model.Kind(k).String() }
 
 // Config describes a filter configuration in the paper's parameter space.
 // Zero-valued fields that don't apply to the Kind are ignored.
@@ -223,46 +211,20 @@ func (c Config) FPR(mBits, n uint64) float64 {
 	return mc.FPR(mBits, n)
 }
 
-// New builds a filter of (at least) mBits for the configuration. For Exact,
-// mBits is interpreted as a capacity hint in keys when below 2^16, else as
-// bits (64 bits per slot).
+// New builds a filter of (at least) mBits for the configuration, through
+// the family's registered descriptor (see internal/registry and the
+// register_<family>.go files). For Exact, mBits is interpreted as a
+// capacity hint in keys when below 2^16, else as bits (64 bits per slot).
 func New(c Config, mBits uint64) (Filter, error) {
 	mc, err := c.toModel()
 	if err != nil {
 		return nil, err
 	}
-	switch mc.Kind {
-	case model.KindBlockedBloom:
-		f, err := blocked.New(mc.Bloom, mBits)
-		if err != nil {
-			return nil, err
-		}
-		return &blockedAdapter{f}, nil
-	case model.KindClassicBloom:
-		f, err := bloom.New(mc.Classic, mBits)
-		if err != nil {
-			return nil, err
-		}
-		return &classicAdapter{f}, nil
-	case model.KindCuckoo:
-		f, err := cuckoo.New(mc.Cuckoo, mBits)
-		if err != nil {
-			return nil, err
-		}
-		return &CuckooFilter{f}, nil
-	case model.KindXor:
-		f, err := xor.New(mc.Xor, mBits)
-		if err != nil {
-			return nil, err
-		}
-		return &XorFilter{f}, nil
-	default:
-		capacity := mBits
-		if capacity >= 1<<16 {
-			capacity /= 64
-		}
-		return &exactAdapter{exact.New(int(capacity))}, nil
+	d := registry.Lookup(mc.Kind)
+	if !d.Constructible() {
+		return nil, fmt.Errorf("perfilter: no registered family for kind %s", c.Kind)
 	}
+	return d.New(mc, mBits)
 }
 
 // NewRegisterBlockedBloom returns a register-blocked Bloom filter

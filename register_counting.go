@@ -1,0 +1,30 @@
+package perfilter
+
+import (
+	"perfilter/internal/counting"
+	"perfilter/internal/registry"
+)
+
+// The counting-Bloom extension serializes and decodes through the
+// registry but is not part of the advised Kind space (no cost model, no
+// sweep entry), so it registers as a wire-only format.
+var _ = registry.Register(registry.Descriptor{
+	Kind:      registry.NoKind,
+	Name:      "counting",
+	WireMagic: counting.WireMagic,
+	Decode: func(data []byte) (registry.Filter, error) {
+		f, err := counting.Unmarshal(data)
+		if err != nil {
+			return nil, err
+		}
+		return &CountingBloomFilter{f}, nil
+	},
+	Marshal: func(f registry.Filter) ([]byte, error) {
+		return f.(*CountingBloomFilter).f.MarshalBinary()
+	},
+	Owns: func(f registry.Filter) bool {
+		_, ok := f.(*CountingBloomFilter)
+		return ok
+	},
+	Mutable: true,
+})

@@ -1,0 +1,30 @@
+package perfilter
+
+import (
+	"perfilter/internal/registry"
+	"perfilter/internal/scalable"
+)
+
+// The scalable-Bloom extension, like counting, is a wire-only
+// registration: it serializes through the registry but sits outside the
+// advised Kind space.
+var _ = registry.Register(registry.Descriptor{
+	Kind:      registry.NoKind,
+	Name:      "scalable",
+	WireMagic: scalable.WireMagic,
+	Decode: func(data []byte) (registry.Filter, error) {
+		f, err := scalable.Unmarshal(data)
+		if err != nil {
+			return nil, err
+		}
+		return &ScalableBloomFilter{f}, nil
+	},
+	Marshal: func(f registry.Filter) ([]byte, error) {
+		return f.(*ScalableBloomFilter).f.MarshalBinary()
+	},
+	Owns: func(f registry.Filter) bool {
+		_, ok := f.(*ScalableBloomFilter)
+		return ok
+	},
+	Mutable: true,
+})

@@ -6,14 +6,10 @@ import (
 	"math"
 
 	"perfilter/internal/adaptive"
-	"perfilter/internal/blocked"
-	"perfilter/internal/bloom"
-	"perfilter/internal/counting"
-	"perfilter/internal/cuckoo"
-	"perfilter/internal/exact"
-	"perfilter/internal/scalable"
+	"perfilter/internal/magic"
+	"perfilter/internal/model"
+	"perfilter/internal/registry"
 	"perfilter/internal/sharded"
-	"perfilter/internal/xor"
 )
 
 // Serialization turns any filter this package builds into a portable byte
@@ -25,15 +21,18 @@ import (
 // byte-identically to the original.
 
 // ShardedWireMagic is the first little-endian uint32 of a serialized
-// sharded filter's envelope (per-kind payloads follow per shard).
-const ShardedWireMagic = 0x70664C50 // "pfLP"
+// sharded filter's envelope (per-kind payloads follow per shard). The
+// value is assigned centrally in internal/magic alongside every other
+// format's.
+const ShardedWireMagic = magic.WireSharded // "pfLP"
 
 // AdaptiveWireMagic is the first little-endian uint32 of a serialized
 // adaptive filter: workload counters and the key log, wrapped around an
 // inner sharded envelope. Persisting the log keeps restored filters fully
 // migratable — without it a restored approximate filter has no replay
-// source and kind changes would have to be refused.
-const AdaptiveWireMagic = 0x70664C41 // "pfLA"
+// source and kind changes would have to be refused. The value is assigned
+// centrally in internal/magic alongside every other format's.
+const AdaptiveWireMagic = magic.WireAdaptive // "pfLA"
 
 const (
 	adaptiveWireVersion = 1
@@ -61,34 +60,14 @@ type marshaler interface {
 // snapshots). Every kind serializes: blocked/register-blocked/sectorized
 // Bloom (any blocked geometry), classic Bloom, counting Bloom, scalable
 // Bloom, cuckoo (victim slot included), the exact set, and the Sharded
-// concurrent wrapper (as an envelope of per-shard payloads).
+// concurrent wrapper (as an envelope of per-shard payloads). The encoder
+// is the registered descriptor owning the filter's concrete type (see
+// internal/registry and the register_<family>.go files).
 func Marshal(f Filter) ([]byte, error) {
-	switch v := f.(type) {
-	case *blockedAdapter:
-		m, ok := v.f.(marshaler)
-		if !ok {
-			return nil, fmt.Errorf("perfilter: filter does not serialize")
-		}
-		return m.MarshalBinary()
-	case *classicAdapter:
-		return v.f.MarshalBinary()
-	case *CuckooFilter:
-		return v.f.MarshalBinary()
-	case *XorFilter:
-		return v.f.MarshalBinary()
-	case *exactAdapter:
-		return v.s.MarshalBinary()
-	case *CountingBloomFilter:
-		return v.f.MarshalBinary()
-	case *ScalableBloomFilter:
-		return v.f.MarshalBinary()
-	case *Sharded:
-		return v.marshalEnvelope()
-	case *Adaptive:
-		return v.marshalAdaptive()
-	default:
-		return nil, fmt.Errorf("perfilter: %T does not serialize", f)
+	if d := registry.Owner(f); d != nil && d.Marshal != nil {
+		return d.Marshal(f)
 	}
+	return nil, fmt.Errorf("perfilter: %T does not serialize", f)
 }
 
 // Unmarshal reverses Marshal, reconstructing the filter with its type and
@@ -102,72 +81,17 @@ func Unmarshal(data []byte) (Filter, error) {
 		return nil, fmt.Errorf("perfilter: filter encoding truncated (%d bytes, no magic)", len(data))
 	}
 	magicWord := binary.LittleEndian.Uint32(data)
-	// wrap tags a decoder failure with the dispatching magic; nil errors
-	// pass through so the success paths below stay one-liners.
-	wrap := func(f Filter, err error) (Filter, error) {
-		if err != nil {
-			return nil, fmt.Errorf("perfilter: decode magic %#08x: %w", magicWord, err)
-		}
-		return f, nil
-	}
-	switch magicWord {
-	case blocked.WireMagic:
-		f, err := blocked.Unmarshal(data)
-		if err != nil {
-			return wrap(nil, err)
-		}
-		return &blockedAdapter{f}, nil
-	case bloom.WireMagic:
-		f, err := bloom.Unmarshal(data)
-		if err != nil {
-			return wrap(nil, err)
-		}
-		return &classicAdapter{f}, nil
-	case cuckoo.WireMagic:
-		f, err := cuckoo.Unmarshal(data)
-		if err != nil {
-			return wrap(nil, err)
-		}
-		return &CuckooFilter{f}, nil
-	case xor.WireMagic:
-		f, err := xor.Unmarshal(data)
-		if err != nil {
-			return wrap(nil, err)
-		}
-		return &XorFilter{f}, nil
-	case exact.WireMagic:
-		s, err := exact.Unmarshal(data)
-		if err != nil {
-			return wrap(nil, err)
-		}
-		return &exactAdapter{s}, nil
-	case counting.WireMagic:
-		f, err := counting.Unmarshal(data)
-		if err != nil {
-			return wrap(nil, err)
-		}
-		return &CountingBloomFilter{f}, nil
-	case scalable.WireMagic:
-		f, err := scalable.Unmarshal(data)
-		if err != nil {
-			return wrap(nil, err)
-		}
-		return &ScalableBloomFilter{f}, nil
-	case ShardedWireMagic:
-		s, err := UnmarshalSharded(data)
-		if err != nil {
-			return wrap(nil, err)
-		}
-		return s, nil
-	case AdaptiveWireMagic:
-		f, err := UnmarshalAdaptive(data, AdaptiveOptions{})
-		if err != nil {
-			return wrap(nil, err)
-		}
-		return f, nil
-	default:
+	d := registry.ByMagic(magicWord)
+	if d == nil || d.Decode == nil {
 		return nil, fmt.Errorf("perfilter: unrecognized filter encoding (magic %#08x)", magicWord)
 	}
+	f, err := d.Decode(data)
+	if err != nil {
+		// Tag the decoder failure with the dispatching magic: a corrupted
+		// payload always names the format it claimed to be.
+		return nil, fmt.Errorf("perfilter: decode magic %#08x: %w", magicWord, err)
+	}
+	return f, nil
 }
 
 // marshalEnvelope serializes the sharded wrapper: a header carrying the
@@ -311,20 +235,8 @@ func UnmarshalSharded(data []byte) (*Sharded, error) {
 		// The payload's own magic picked the decoder; it must agree with
 		// the envelope's declared kind (a mismatch means a stitched or
 		// corrupted envelope).
-		var match bool
-		switch f.(type) {
-		case *blockedAdapter:
-			match = cfg.Kind == BlockedBloom
-		case *classicAdapter:
-			match = cfg.Kind == ClassicBloom
-		case *CuckooFilter:
-			match = cfg.Kind == Cuckoo
-		case *XorFilter:
-			match = cfg.Kind == Xor
-		case *exactAdapter:
-			match = cfg.Kind == Exact
-		}
-		if !match {
+		d := registry.Lookup(model.Kind(cfg.Kind))
+		if d == nil || d.Owns == nil || !d.Owns(f) {
 			return nil, fmt.Errorf("perfilter: shard payload type %T does not match envelope kind %s", f, cfg.Kind)
 		}
 		return f, nil
