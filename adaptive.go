@@ -1,6 +1,7 @@
 package perfilter
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -205,7 +206,7 @@ func (a *Adaptive) Insert(key Key) error {
 		}
 	}
 	for attempt := 0; errors.Is(err, ErrFull) && attempt < maxFullRecoveries && a.autoGrows(); attempt++ {
-		self, rerr := a.recoverFull(a.s.SizeBits(), 1)
+		self, rerr := a.recoverFull(context.Background(), a.s.SizeBits(), 1)
 		if rerr != nil {
 			break
 		}
@@ -249,11 +250,18 @@ func (a *Adaptive) InsertConcurrent(key Key) error { return a.Insert(key) }
 // the whole batch, which is idempotent for the logged/deduplicated replay
 // path.
 func (a *Adaptive) InsertBatch(keys []Key) (int, error) {
+	return a.InsertBatchCtx(context.Background(), keys)
+}
+
+// InsertBatchCtx is InsertBatch with request-scoped tracing: a sampled
+// span in ctx gains per-shard "shard.insert" children, and an emergency
+// grow triggered by this batch runs its migration under the same trace.
+func (a *Adaptive) InsertBatchCtx(ctx context.Context, keys []Key) (int, error) {
 	log := a.log.Load()
 	if log != nil {
 		log.AppendBatch(keys)
 	}
-	inserted, err := a.s.InsertBatch(keys)
+	inserted, err := a.s.InsertBatchCtx(ctx, keys)
 	if log != nil {
 		if cur := a.log.Load(); cur != log {
 			cur.AppendBatch(keys)
@@ -261,7 +269,7 @@ func (a *Adaptive) InsertBatch(keys []Key) (int, error) {
 		}
 	}
 	for attempt := 0; errors.Is(err, ErrFull) && attempt < maxFullRecoveries && a.autoGrows(); attempt++ {
-		self, rerr := a.recoverFull(a.s.SizeBits(), uint64(len(keys)))
+		self, rerr := a.recoverFull(ctx, a.s.SizeBits(), uint64(len(keys)))
 		if rerr != nil {
 			break
 		}
@@ -276,7 +284,7 @@ func (a *Adaptive) InsertBatch(keys []Key) (int, error) {
 		// A concurrent recovery grew the filter; replay the batch there
 		// (shard order, so not an input-order prefix on a further error),
 		// re-checking the log epoch afterwards.
-		inserted, err = a.s.InsertBatch(keys)
+		inserted, err = a.s.InsertBatchCtx(ctx, keys)
 		if log != nil {
 			if cur := a.log.Load(); cur != log {
 				cur.AppendBatch(keys)
@@ -303,8 +311,14 @@ func (a *Adaptive) Contains(key Key) bool {
 
 // ContainsBatch implements Filter, recording the batch.
 func (a *Adaptive) ContainsBatch(keys []Key, sel []uint32) []uint32 {
+	return a.ContainsBatchCtx(context.Background(), keys, sel)
+}
+
+// ContainsBatchCtx is ContainsBatch with request-scoped tracing: a
+// sampled span in ctx gains per-shard "shard.probe" children.
+func (a *Adaptive) ContainsBatchCtx(ctx context.Context, keys []Key, sel []uint32) []uint32 {
 	before := len(sel)
-	sel = a.s.ContainsBatch(keys, sel)
+	sel = a.s.ContainsBatchCtx(ctx, keys, sel)
 	a.stats.RecordProbe(uint64(len(keys)), uint64(len(sel)-before))
 	return sel
 }
@@ -396,11 +410,17 @@ func (a *Adaptive) Sharded() *Sharded { return a.s }
 // resurrect cleared keys. To resize *without* clearing, use Migrate with
 // the current configuration.
 func (a *Adaptive) Rotate(mBits uint64, fill func(insert func(Key) error) error) error {
+	return a.RotateCtx(context.Background(), mBits, fill)
+}
+
+// RotateCtx is Rotate with request-scoped tracing: a sampled span in ctx
+// gains the sharded layer's "sharded.rotate" child.
+func (a *Adaptive) RotateCtx(ctx context.Context, mBits uint64, fill func(insert func(Key) error) error) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	old := a.log.Load()
 	if old == nil {
-		if err := a.s.Rotate(mBits, fill); err != nil {
+		if err := a.s.RotateCtx(ctx, mBits, fill); err != nil {
 			return err
 		}
 		a.stats.Reset()
@@ -422,7 +442,7 @@ func (a *Adaptive) Rotate(mBits uint64, fill func(insert func(Key) error) error)
 			})
 		}
 	}
-	if err := a.s.Rotate(mBits, wrapped); err != nil {
+	if err := a.s.RotateCtx(ctx, mBits, wrapped); err != nil {
 		// The rotation aborted: the retiring generation still serves, so
 		// restore its log and fold in the keys writers logged into the
 		// aborted epoch (their inserts landed in the retiring generation).
@@ -555,18 +575,46 @@ func (a *Adaptive) adviceAt(lastMigration time.Time, baseline adaptive.Counters,
 // returned decision is also appended to the history. It is what the
 // background tuner calls on its interval.
 func (a *Adaptive) Reoptimize() (adaptive.Decision, error) {
+	return a.ReoptimizeCtx(context.Background())
+}
+
+// ReoptimizeCtx is Reoptimize with tracing: the pass runs under an
+// "adaptive.evaluate" span — a child when ctx already carries a sampled
+// span (the server's autotune sweep), otherwise a forced root on the
+// process tracer (the background tuner) — annotated with the observed
+// workload (n, σ), the modeled overheads ρ_cur/ρ_new, the verdict and
+// its reason, so a migration in the trace ring links back to the
+// workload evidence that triggered it.
+func (a *Adaptive) ReoptimizeCtx(ctx context.Context) (adaptive.Decision, error) {
+	var sp *obs.Span
+	if obs.SpanFromContext(ctx) != nil {
+		ctx, sp = obs.StartSpan(ctx, "adaptive.evaluate")
+	} else {
+		ctx, sp = obs.DefaultTracer.StartRootForced(ctx, "adaptive.evaluate")
+	}
+	defer sp.End()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	mEvaluations.Inc()
 	adv, err := a.adviceAt(a.lastMigration, a.baseline, 0)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
 		return adaptive.Decision{}, err
 	}
+	sp.SetAttr("n", adv.Workload.N)
+	sp.SetAttr("sigma", adv.Workload.Sigma)
+	sp.SetAttr("rho_cur", adv.Current.Overhead)
+	sp.SetAttr("rho_new", adv.Best.Overhead)
+	sp.SetAttr("current", adv.Current.Config.String())
+	sp.SetAttr("best", adv.Best.Config.String())
+	sp.SetAttr("would_migrate", adv.WouldMigrate)
+	sp.SetAttr("reason", adv.Reason)
 	d := decisionFrom(adv)
 	d.Margin = a.opts.Policy.Margin
 	if adv.WouldMigrate {
-		if err := a.migrateLocked(adv.Best.Config, adv.Best.MBits); err != nil {
+		if err := a.migrateLocked(ctx, adv.Best.Config, adv.Best.MBits); err != nil {
 			d.Reason = "migration failed: " + err.Error()
+			sp.SetAttr("error", err.Error())
 			a.record(d)
 			return d, err
 		}
@@ -575,6 +623,7 @@ func (a *Adaptive) Reoptimize() (adaptive.Decision, error) {
 	} else {
 		mRejections.Inc()
 	}
+	sp.SetAttr("migrated", d.Migrated)
 	a.record(d)
 	return d, nil
 }
@@ -583,10 +632,17 @@ func (a *Adaptive) Reoptimize() (adaptive.Decision, error) {
 // bypassing the hysteresis policy (the server's migrate endpoint). mBits 0
 // keeps the current size. The same losslessness guarantees apply.
 func (a *Adaptive) Migrate(cfg Config, mBits uint64) error {
+	return a.MigrateCtx(context.Background(), cfg, mBits)
+}
+
+// MigrateCtx is Migrate with request-scoped tracing: a sampled span in
+// ctx gains the sharded layer's "sharded.rotate" child (and seal span
+// for build-once targets).
+func (a *Adaptive) MigrateCtx(ctx context.Context, cfg Config, mBits uint64) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	prev := a.s.Config()
-	if err := a.migrateLocked(cfg, mBits); err != nil {
+	if err := a.migrateLocked(ctx, cfg, mBits); err != nil {
 		return err
 	}
 	now := time.Now().UTC()
@@ -615,13 +671,13 @@ func (a *Adaptive) Migrate(cfg Config, mBits uint64) error {
 // shards buffer the replayed keys and the sharded rotation seals them
 // into solved tables before the swap; writes racing the window land in
 // the shards' overflow buffers and stay queryable.
-func (a *Adaptive) migrateLocked(cfg Config, mBits uint64) error {
+func (a *Adaptive) migrateLocked(ctx context.Context, cfg Config, mBits uint64) error {
 	if !a.canMigrate() {
 		return fmt.Errorf("perfilter: adaptive filter cannot migrate without a complete key log")
 	}
 	prev := a.s.Config()
 	log := a.log.Load()
-	if err := a.s.Migrate(cfg, mBits, func(insert func(Key) error) error {
+	if err := a.s.MigrateCtx(ctx, cfg, mBits, func(insert func(Key) error) error {
 		return log.Snapshot().Replay(insert, true)
 	}); err != nil {
 		return err
@@ -641,7 +697,7 @@ func (a *Adaptive) migrateLocked(cfg Config, mBits uint64) error {
 // caller must retry its insert — the concurrent migration's log snapshot
 // may predate the caller's log append, so only its own migration is
 // guaranteed to have replayed the caller's keys.
-func (a *Adaptive) recoverFull(sawBits, incoming uint64) (bool, error) {
+func (a *Adaptive) recoverFull(ctx context.Context, sawBits, incoming uint64) (bool, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.s.SizeBits() > sawBits {
@@ -658,7 +714,7 @@ func (a *Adaptive) recoverFull(sawBits, incoming uint64) (bool, error) {
 	if adv, err := Advise(w); err == nil && adv.MBits > sawBits {
 		cfg, mBits = adv.Config, adv.MBits
 	}
-	if err := a.migrateLocked(cfg, mBits); err != nil {
+	if err := a.migrateLocked(ctx, cfg, mBits); err != nil {
 		return false, err
 	}
 	now := time.Now().UTC()

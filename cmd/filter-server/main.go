@@ -19,15 +19,22 @@
 //
 // Observability: GET /metrics serves the Prometheus text exposition for
 // every layer (batch-plane latency histograms, rotation and dual-write
-// timings, control-loop decisions), GET /v1/filters/{name}/trace the
-// recent re-optimization decisions, and GET /healthz uptime and build
-// identity. Logs are structured (log/slog text format; -log-json for
+// timings, control-loop decisions), GET /metrics/history a self-scraped
+// ring of periodic snapshots (counter deltas + windowed latency
+// quantiles; -history-interval), GET /v1/debug/traces the sampled
+// request-scoped span trees (-trace-sample head sampling,
+// -trace-slow-ns slow-outlier capture, W3C traceparent ingestion),
+// GET /v1/filters/{name}/trace the recent re-optimization decisions,
+// GET /healthz uptime and build identity, and GET /readyz readiness
+// (503 until the data-dir restore completes and while a migration is in
+// flight). Logs are structured (log/slog text format; -log-json for
 // JSON). -pprof mounts net/http/pprof under /debug/pprof/.
 //
 // Usage:
 //
 //	filter-server [-addr :8077] [-data-dir /var/lib/filter-server] [-max-batch-bytes 16777216]
-//	              [-autotune 30s] [-default-tw 1000] [-pprof] [-log-json]
+//	              [-autotune 30s] [-default-tw 1000] [-trace-sample 0.01] [-trace-slow-ns 0]
+//	              [-history-interval 10s] [-pprof] [-log-json]
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"perfilter/internal/obs"
 	"perfilter/internal/server"
 )
 
@@ -61,6 +69,12 @@ func main() {
 		"mount net/http/pprof under /debug/pprof/ on the service listener")
 	logJSON := flag.Bool("log-json", false,
 		"emit logs as JSON instead of logfmt-style text")
+	traceSample := flag.Float64("trace-sample", 0.01,
+		"fraction of batch-plane requests head-sampled into /v1/debug/traces (0 = off, 1 = all; a sampled traceparent flag always samples)")
+	traceSlowNs := flag.Int64("trace-slow-ns", 0,
+		"also capture unsampled batch requests slower than this many nanoseconds (0 = auto: 2x the live probe p99, re-derived each history scrape; negative = off)")
+	historyInterval := flag.Duration("history-interval", 10*time.Second,
+		"period between /metrics/history self-scrapes (0 = off)")
 	flag.Parse()
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
@@ -70,10 +84,18 @@ func main() {
 	logger := slog.New(handler)
 	slog.SetDefault(logger)
 
+	// The tracer's sampling knobs: -trace-slow-ns > 0 is a fixed
+	// threshold, 0 delegates to the history scraper (auto: 2x live probe
+	// p99), negative disables slow capture entirely.
+	obs.DefaultTracer.SetSampleRate(*traceSample)
+	if *traceSlowNs > 0 {
+		obs.DefaultTracer.SetSlowNs(*traceSlowNs)
+	}
 	reg := server.New(server.Options{
 		MaxBatchBytes: *maxBatch, MaxFilterBits: *maxBits, MaxTotalBits: *maxTotal,
 		DataDir: *dataDir, Tw: *defaultTw,
 		Logger: logger, Pprof: *pprofOn,
+		TraceAutoSlow: *traceSlowNs == 0,
 	})
 	if *dataDir != "" {
 		loaded, err := reg.LoadAll()
@@ -94,6 +116,7 @@ func main() {
 		reg.StartAutotune(ctx, *autotune)
 		logger.Info("autotune enabled", "interval", *autotune, "default_tw", *defaultTw)
 	}
+	reg.StartHistory(ctx, *historyInterval)
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	logger.Info("listening", "addr", *addr, "pprof", *pprofOn)

@@ -1,6 +1,7 @@
 package perfilter
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -136,6 +137,13 @@ func (s *Sharded) InsertConcurrent(key Key) error { return s.s.Insert(key) }
 // rotating larger and replaying the batch.
 func (s *Sharded) InsertBatch(keys []Key) (int, error) { return s.s.InsertBatch(keys) }
 
+// InsertBatchCtx is InsertBatch with request-scoped tracing: a sampled
+// span in ctx gains per-shard "shard.insert" children (see
+// internal/sharded).
+func (s *Sharded) InsertBatchCtx(ctx context.Context, keys []Key) (int, error) {
+	return s.s.InsertBatchCtx(ctx, keys)
+}
+
 // Contains implements Filter.
 func (s *Sharded) Contains(key Key) bool { return s.s.Contains(key) }
 
@@ -145,6 +153,13 @@ func (s *Sharded) Contains(key Key) bool { return s.s.Contains(key) }
 // probing the shards one at a time.
 func (s *Sharded) ContainsBatch(keys []Key, sel []uint32) []uint32 {
 	return s.s.ContainsBatch(keys, sel)
+}
+
+// ContainsBatchCtx is ContainsBatch with request-scoped tracing: a
+// sampled span in ctx gains per-shard "shard.probe" children (see
+// internal/sharded).
+func (s *Sharded) ContainsBatchCtx(ctx context.Context, keys []Key, sel []uint32) []uint32 {
+	return s.s.ContainsBatchCtx(ctx, keys, sel)
 }
 
 // SizeBits implements Filter (summed over shards).
@@ -190,6 +205,13 @@ func (s *Sharded) Skew() float64 { return s.s.Skew() }
 // writers append to before inserting and every acknowledged key is
 // retained.
 func (s *Sharded) Rotate(mBits uint64, fill func(insert func(Key) error) error) error {
+	return s.RotateCtx(context.Background(), mBits, fill)
+}
+
+// RotateCtx is Rotate with request-scoped tracing: a sampled span in ctx
+// gains a "sharded.rotate" child (and "sharded.seal" grandchild for
+// build-once kinds).
+func (s *Sharded) RotateCtx(ctx context.Context, mBits uint64, fill func(insert func(Key) error) error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var factory sharded.Factory
@@ -202,7 +224,7 @@ func (s *Sharded) Rotate(mBits uint64, fill func(insert func(Key) error) error) 
 		}
 		factory = s.factory(perShard)
 	}
-	if err := s.s.Rotate(factory, fill); err != nil {
+	if err := s.s.RotateCtx(ctx, factory, fill); err != nil {
 		return err
 	}
 	s.perShard = perShard
@@ -219,6 +241,11 @@ func (s *Sharded) Rotate(mBits uint64, fill func(insert func(Key) error) error) 
 // perfilter.NewAdaptive maintains) and no acknowledged write is lost. On
 // error the filter is unchanged, still serving its previous configuration.
 func (s *Sharded) Migrate(cfg Config, mBits uint64, fill func(insert func(Key) error) error) error {
+	return s.MigrateCtx(context.Background(), cfg, mBits, fill)
+}
+
+// MigrateCtx is Migrate with request-scoped tracing (see RotateCtx).
+func (s *Sharded) MigrateCtx(ctx context.Context, cfg Config, mBits uint64, fill func(insert func(Key) error) error) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -232,7 +259,7 @@ func (s *Sharded) Migrate(cfg Config, mBits uint64, fill func(insert func(Key) e
 	if perShard == 0 {
 		return fmt.Errorf("perfilter: %d bits cannot be split across %d shards", mBits, p)
 	}
-	if err := s.s.Rotate(factoryFor(cfg, perShard), fill); err != nil {
+	if err := s.s.RotateCtx(ctx, factoryFor(cfg, perShard), fill); err != nil {
 		return err
 	}
 	s.cfg = cfg

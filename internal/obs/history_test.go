@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestHistogramQuantileKnown checks the estimator against distributions
+// whose true quantiles are known. Precision follows the power-of-two
+// bucket layout: the estimate always lands inside the true value's
+// bucket, and the log-linear interpolation recovers smooth
+// distributions much more closely than the factor-of-two bucket width.
+func TestHistogramQuantileKnown(t *testing.T) {
+	// Empty histogram: every quantile is 0.
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty p50 = %g", got)
+	}
+
+	// Point mass: all observations equal 1000 (bucket (512, 1024]).
+	// Every quantile must land inside that bucket.
+	var point Histogram
+	for i := 0; i < 100; i++ {
+		point.Observe(1000)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		got := point.Quantile(q)
+		if got <= 512 || got > 1024 {
+			t.Errorf("point mass q=%g: %g outside the covering bucket (512, 1024]", q, got)
+		}
+	}
+
+	// Uniform 1..1024: the per-bucket counts are exactly proportional to
+	// the bucket widths, so log-linear interpolation is nearly exact.
+	var uni Histogram
+	for v := int64(1); v <= 1024; v++ {
+		uni.Observe(v)
+	}
+	if p50 := uni.Quantile(0.5); math.Abs(p50-512) > 1e-9 {
+		t.Errorf("uniform p50 = %g, want exactly 512", p50)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.95, 973}, // true 95th order statistic of 1..1024
+		{0.99, 1014},
+	} {
+		got := uni.Quantile(tc.q)
+		if rel := math.Abs(got-tc.want) / tc.want; rel > 0.05 {
+			t.Errorf("uniform q=%g: %g, want %g within 5%%", tc.q, got, tc.want)
+		}
+	}
+	// Monotone in q.
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		cur := uni.Quantile(q)
+		if cur < prev {
+			t.Fatalf("quantile not monotone: q=%g gives %g after %g", q, cur, prev)
+		}
+		prev = cur
+	}
+
+	// Out-of-range and NaN q clamp instead of panicking.
+	if lo, hi := uni.Quantile(-3), uni.Quantile(7); lo != uni.Quantile(0) || hi != uni.Quantile(1) {
+		t.Errorf("q clamping: %g / %g", lo, hi)
+	}
+	if v := uni.Quantile(math.NaN()); v != uni.Quantile(0) {
+		t.Errorf("NaN q = %g", v)
+	}
+
+	// Overflow: a quantile landing beyond the finite buckets reports the
+	// largest finite bound rather than inventing a value.
+	var over Histogram
+	over.Observe(1 << 40)
+	if got, want := over.Quantile(1), float64(uint64(1)<<(HistogramBuckets-1)); got != want {
+		t.Errorf("overflow quantile = %g, want %g", got, want)
+	}
+}
+
+// TestHistoryScrapeDeltas pins the self-scraper's windowing: the first
+// scrape only primes, later scrapes record counter deltas (zero deltas
+// omitted), absolute gauges, and per-interval histogram quantiles
+// computed from bucket deltas — not from the cumulative distribution.
+func TestHistoryScrapeDeltas(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_requests_total", "reqs")
+	idle := r.Counter("t_idle_total", "never moves")
+	g := r.Gauge("t_level", "a gauge")
+	h := r.Histogram("t_latency_ns", "lat")
+
+	// Pre-prime traffic must not appear in any window.
+	c.Add(5)
+	idle.Add(2)
+	h.Observe(100)
+
+	hist := NewHistory(r, 4)
+	hist.Scrape() // prime
+	if got := hist.Entries(0); len(got) != 0 {
+		t.Fatalf("priming scrape retained %d entries", len(got))
+	}
+
+	c.Add(3)
+	g.Set(7)
+	h.Observe(1000)
+	h.Observe(2000)
+	hist.Scrape()
+
+	entries := hist.Entries(0)
+	if len(entries) != 1 {
+		t.Fatalf("retained %d entries, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.IntervalNs <= 0 {
+		t.Errorf("interval %d", e.IntervalNs)
+	}
+	if d := e.Counters["t_requests_total"]; d != 3 {
+		t.Errorf("counter delta %d, want 3 (pre-prime traffic excluded)", d)
+	}
+	if _, ok := e.Counters["t_idle_total"]; ok {
+		t.Error("zero-delta counter not omitted")
+	}
+	if v := e.Gauges["t_level"]; v != 7 {
+		t.Errorf("gauge %g", v)
+	}
+	w, ok := e.Histograms["t_latency_ns"]
+	if !ok {
+		t.Fatal("histogram window missing")
+	}
+	if w.Count != 2 || w.SumNs != 3000 {
+		t.Errorf("window count %d sum %d, want 2 / 3000", w.Count, w.SumNs)
+	}
+	// The windowed quantiles see only {1000, 2000}: p50 covers the
+	// 1000 observation's bucket, p99 the 2000 one — and critically the
+	// pre-prime 100 ns observation influences neither.
+	if w.P50 <= 512 || w.P50 > 1024 {
+		t.Errorf("window p50 %g outside (512, 1024]", w.P50)
+	}
+	if w.P99 <= 1024 || w.P99 > 2048 {
+		t.Errorf("window p99 %g outside (1024, 2048]", w.P99)
+	}
+	if w.P50 > w.P95 || w.P95 > w.P99 {
+		t.Errorf("window quantiles not monotone: %g %g %g", w.P50, w.P95, w.P99)
+	}
+
+	// A quiet interval records an entry with no histogram window.
+	hist.Scrape()
+	if e := hist.Entries(0)[0]; len(e.Histograms) != 0 {
+		t.Errorf("quiet interval recorded histogram windows: %+v", e.Histograms)
+	}
+
+	// The ring holds the newest `capacity` intervals, newest first.
+	for i := 0; i < 6; i++ {
+		c.Inc()
+		hist.Scrape()
+	}
+	entries = hist.Entries(0)
+	if len(entries) != 4 {
+		t.Fatalf("ring retained %d entries, want capacity 4", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].At.After(entries[i-1].At) {
+			t.Fatal("entries not newest first")
+		}
+	}
+}
+
+func TestHistoryHandler(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_total", "t")
+	hist := NewHistory(r, 8)
+	hist.Scrape()
+	c.Add(2)
+	hist.Scrape()
+
+	rec := httptest.NewRecorder()
+	hist.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics/history?window=1h", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp historyResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.WindowNs != (3600 * 1e9) {
+		t.Errorf("window_ns %d", resp.WindowNs)
+	}
+	if len(resp.Entries) != 1 || resp.Entries[0].Counters["t_total"] != 2 {
+		t.Errorf("entries %+v", resp.Entries)
+	}
+
+	rec = httptest.NewRecorder()
+	hist.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics/history?window=bogus", nil))
+	if rec.Code != 400 {
+		t.Errorf("bad window duration: status %d, want 400", rec.Code)
+	}
+}

@@ -128,6 +128,68 @@ func (h *Histogram) snapshotCumulative(cum *[HistogramBuckets]uint64) uint64 {
 	return running + h.overflow.Load()
 }
 
+// Quantile estimates the q-quantile (clamped to [0, 1]) of the observed
+// distribution in nanoseconds from the live buckets. Precision follows
+// the bucket layout: exact rank selection across buckets, log-linear
+// interpolation within the covering power-of-two bucket — so the
+// estimate is always inside the true value's bucket (within a factor of
+// two worst case, much closer for smooth distributions). Returns 0 with
+// no observations; a quantile landing in the +Inf overflow returns the
+// largest finite bound. Concurrent Observes may tear slightly between
+// bucket loads, as with the exposition snapshot.
+func (h *Histogram) Quantile(q float64) float64 {
+	var counts [HistogramBuckets]uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return quantileFromBuckets(counts[:], h.overflow.Load(), q)
+}
+
+// quantileFromBuckets is the shared estimator behind Histogram.Quantile
+// and the History self-scraper's windowed quantiles (which feed it
+// bucket *deltas* between two scrapes).
+func quantileFromBuckets(counts []uint64, overflow uint64, q float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	total += overflow
+	if total == 0 {
+		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the order statistic we want.
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			frac := float64(rank-cum) / float64(c)
+			if i == 0 {
+				// Bucket 0 covers [0, 1] ns; interpolate linearly.
+				return frac
+			}
+			// Bucket i covers (2^(i-1), 2^i]: log-linear puts the
+			// estimate at 2^((i-1)+frac).
+			return float64(uint64(1)<<(i-1)) * math.Exp2(frac)
+		}
+		cum += c
+	}
+	return float64(uint64(1) << (HistogramBuckets - 1))
+}
+
 // instrument is one registered series' value. counter/gauge/hist are
 // written at most once, under the registry lock, before the series is
 // ever returned to a caller — so WritePrometheus may read them without

@@ -1,0 +1,251 @@
+// Request-scoped spans: the unit of the zero-dependency tracing layer
+// (trace.go holds the Tracer that samples and retains them).
+//
+// A Span is a named interval with monotonic start/end (time.Time carries
+// the monotonic clock, so durations survive wall-clock steps), free-form
+// key/value attributes, and child links forming a tree under one root.
+// Spans are nil-safe: every method on a nil *Span is a no-op, so
+// instrumented code threads the "am I sampled?" decision through a single
+// pointer instead of branching — an unsampled request carries a nil span
+// in its context and pays nothing, not even an allocation.
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// TraceID is the W3C trace-context 16-byte trace id shared by every span
+// in one request tree.
+type TraceID [16]byte
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the id as 32 lowercase hex characters.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID is the W3C trace-context 8-byte span id.
+type SpanID [8]byte
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the id as 16 lowercase hex characters.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// Attr is one key/value attribute on a span. Values are rendered through
+// encoding/json in the debug endpoint; stick to strings, numbers and
+// bools.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Span is one named interval in a trace tree. A nil *Span is valid and
+// inert — the unsampled fast path. Methods are safe for concurrent use;
+// a span's children may start, annotate and end in parallel (the sharded
+// probe fan-out does exactly that).
+type Span struct {
+	tracer  *Tracer // non-nil on roots; nil on children (root owns retention)
+	name    string
+	traceID TraceID
+	spanID  SpanID
+	// parentID is the remote parent from an ingested traceparent (roots)
+	// or the in-process parent's span id (children); zero for a locally
+	// originated root.
+	parentID SpanID
+	start    time.Time
+
+	mu       sync.Mutex
+	durNs    int64
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// TraceIDString returns the 32-hex trace id ("" on nil): what the server
+// echoes in X-Trace-Id and logs as request_id.
+func (s *Span) TraceIDString() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID.String()
+}
+
+// SetAttr attaches one key/value attribute. No-op on nil.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// StartChild starts a child span, linked under s and sharing its trace
+// id. Returns nil on a nil receiver, so the sampling decision made at the
+// root propagates for free.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{
+		name:     name,
+		traceID:  s.traceID,
+		spanID:   s.newChildID(),
+		parentID: s.spanID,
+		start:    time.Now(),
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// newChildID derives a child span id. The root's tracer PRNG is used when
+// reachable; a child-of-a-child perturbs its own id (ids only need to be
+// unique within the trace for display purposes).
+func (s *Span) newChildID() SpanID {
+	if s.tracer != nil {
+		return s.tracer.genSpanID()
+	}
+	x := splitmix64(uint64(time.Now().UnixNano()) ^ leU64(s.spanID[:]))
+	var id SpanID
+	putLeU64(id[:], x)
+	return id
+}
+
+// End marks the span complete, freezing its duration. A root span is
+// pushed into its tracer's ring on first End; later Ends are no-ops.
+// No-op on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.durNs = time.Since(s.start).Nanoseconds()
+	s.mu.Unlock()
+	if s.tracer != nil {
+		s.tracer.push(s)
+	}
+}
+
+// DurationNs returns the frozen duration (0 before End / on nil).
+func (s *Span) DurationNs() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.durNs
+}
+
+// spanView is the JSON shape served by the traces debug endpoint.
+type spanView struct {
+	TraceID      string     `json:"trace_id"`
+	SpanID       string     `json:"span_id"`
+	ParentSpanID string     `json:"parent_span_id,omitempty"`
+	Name         string     `json:"name"`
+	Start        time.Time  `json:"start"`
+	DurationNs   int64      `json:"duration_ns"`
+	Ended        bool       `json:"ended"`
+	Attrs        []attrView `json:"attrs,omitempty"`
+	Children     []spanView `json:"children,omitempty"`
+}
+
+type attrView struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// view snapshots the span tree for rendering. Each span locks only
+// itself; children are copied out before recursing, so concurrent
+// StartChild/SetAttr/End calls on a still-live tree cannot deadlock the
+// reader.
+func (s *Span) view() spanView {
+	s.mu.Lock()
+	v := spanView{
+		TraceID:    s.traceID.String(),
+		SpanID:     s.spanID.String(),
+		Name:       s.name,
+		Start:      s.start,
+		DurationNs: s.durNs,
+		Ended:      s.ended,
+	}
+	if !s.parentID.IsZero() {
+		v.ParentSpanID = s.parentID.String()
+	}
+	if len(s.attrs) > 0 {
+		v.Attrs = make([]attrView, len(s.attrs))
+		for i, a := range s.attrs {
+			v.Attrs[i] = attrView{Key: a.Key, Value: a.Value}
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	if len(children) > 0 {
+		v.Children = make([]spanView, len(children))
+		for i, c := range children {
+			v.Children[i] = c.view()
+		}
+	}
+	return v
+}
+
+// spanCtxKey keys the active span in a context.Context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the active span.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFromContext returns the active span, or nil if the request is
+// unsampled (or ctx never passed through StartRoot).
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
+// StartSpan starts a child of ctx's active span and returns a context
+// carrying the child. When ctx has no active span — the request was not
+// sampled — it returns (ctx, nil) without allocating, which is the
+// property TestSpanZeroAllocsWhenUnsampled pins; the nil span silently
+// absorbs SetAttr/End.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := parent.StartChild(name)
+	return ContextWithSpan(ctx, child), child
+}
+
+func leU64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLeU64(b []byte, v uint64) {
+	_ = b[7]
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,374 @@
+// Tracer: head-sampled retention of completed root spans in a lock-free
+// ring, plus W3C traceparent ingestion so an upstream caller's trace id
+// flows through the batch plane and back out in the response header.
+//
+// Sampling model, chosen for the probe hot path:
+//
+//   - Head sampling by rate: the keep/drop decision is made before the
+//     root span exists, from one atomic splitmix64 step compared against
+//     a precomputed threshold. Unsampled requests get (ctx, nil) — zero
+//     allocations, no locks (TestSpanZeroAllocsWhenUnsampled pins this).
+//   - Always-sample-on-slow: a head decision cannot know the request
+//     will be slow, so slow outliers are captured post hoc — the handler
+//     already measures its duration; when an unsampled request exceeds
+//     SlowNs it calls RecordSlow, which synthesizes a childless root
+//     span after the fact. The common fast path stays allocation-free;
+//     only the rare slow request pays for its own evidence.
+//   - An ingested traceparent with the sampled flag forces sampling, so
+//     a caller debugging one request end-to-end always gets a span tree.
+//
+// Retention is a fixed ring of *Span behind atomic pointers: writers
+// claim a slot with one atomic add and store unconditionally; readers
+// snapshot pointers newest-first. Entries are overwritten, never freed —
+// a crash-loop's last N requests are always inspectable at
+// GET /v1/debug/traces.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceRing is the root-span retention if TracerOptions.RingSize
+// is zero.
+const DefaultTraceRing = 256
+
+// TracerOptions configures NewTracer. The zero value is a valid "off"
+// tracer: rate 0, no slow capture, default ring.
+type TracerOptions struct {
+	// SampleRate is the fraction of roots head-sampled into the ring:
+	// <= 0 disables head sampling, >= 1 samples everything.
+	SampleRate float64
+	// SlowNs, when > 0, is the duration above which callers should
+	// capture unsampled requests via RecordSlow (the tracer only stores
+	// the threshold; measuring is the caller's job since it times the
+	// request anyway).
+	SlowNs int64
+	// RingSize is the retained root-span count (default
+	// DefaultTraceRing).
+	RingSize int
+	// Registry, when non-nil, receives sampling meta-counters
+	// (perfilter_trace_spans_sampled_total etc.).
+	Registry *Registry
+}
+
+// Tracer samples and retains root spans. The zero value is a fully
+// disabled tracer: StartRoot never samples, RecordSlow is a no-op — the
+// baseline the server's alloc-parity test compares against.
+type Tracer struct {
+	// threshold is the head-sampling cut: a uniform uint64 below it
+	// samples. 0 = never, ^uint64(0) = always.
+	threshold atomic.Uint64
+	slowNs    atomic.Int64
+	rng       atomic.Uint64 // splitmix64 state, also feeds id generation
+
+	ring []atomic.Pointer[Span]
+	head atomic.Uint64 // next slot to claim; total roots ever pushed
+
+	// meta-counters; nil on the zero tracer.
+	cSampled *Counter
+	cSlow    *Counter
+}
+
+// NewTracer builds a tracer. Seeded from the wall clock — ids need to be
+// unique, not unpredictable.
+func NewTracer(opts TracerOptions) *Tracer {
+	n := opts.RingSize
+	if n <= 0 {
+		n = DefaultTraceRing
+	}
+	t := &Tracer{ring: make([]atomic.Pointer[Span], n)}
+	t.rng.Store(uint64(time.Now().UnixNano()))
+	t.SetSampleRate(opts.SampleRate)
+	t.slowNs.Store(opts.SlowNs)
+	if opts.Registry != nil {
+		t.cSampled = opts.Registry.Counter("perfilter_trace_spans_sampled_total",
+			"Root spans retained in the trace ring, by reason.", "reason", "sampled")
+		t.cSlow = opts.Registry.Counter("perfilter_trace_spans_sampled_total",
+			"Root spans retained in the trace ring, by reason.", "reason", "slow")
+	}
+	return t
+}
+
+// DefaultTracer is the process-wide tracer the filter server uses unless
+// overridden: 1% head sampling, slow capture off until the -trace-slow-ns
+// flag (or the server's auto-threshold loop) sets it, counters on the
+// Default registry.
+var DefaultTracer = NewTracer(TracerOptions{SampleRate: 0.01, Registry: Default})
+
+// SetSampleRate atomically replaces the head-sampling rate.
+func (t *Tracer) SetSampleRate(rate float64) {
+	switch {
+	case rate <= 0 || math.IsNaN(rate):
+		t.threshold.Store(0)
+	case rate >= 1:
+		t.threshold.Store(^uint64(0))
+	default:
+		t.threshold.Store(uint64(rate * float64(1<<63) * 2))
+	}
+}
+
+// SetSlowNs atomically replaces the slow-capture threshold (<= 0
+// disables).
+func (t *Tracer) SetSlowNs(ns int64) { t.slowNs.Store(ns) }
+
+// SlowNs returns the current slow-capture threshold in nanoseconds
+// (<= 0 when disabled). Callers compare their own measured duration
+// against it and invoke RecordSlow on breach.
+func (t *Tracer) SlowNs() int64 { return t.slowNs.Load() }
+
+// splitmix64 is the output function of the splitmix64 PRNG.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// next steps the tracer's PRNG: one atomic add plus the splitmix64
+// mix — allocation-free and contention-tolerant (adds commute).
+func (t *Tracer) next() uint64 {
+	return splitmix64(t.rng.Add(0x9e3779b97f4a7c15))
+}
+
+// sampleHead makes the head-sampling decision.
+func (t *Tracer) sampleHead() bool {
+	th := t.threshold.Load()
+	if th == 0 {
+		return false
+	}
+	if th == ^uint64(0) {
+		return true
+	}
+	return t.next() < th
+}
+
+func (t *Tracer) genTraceID() TraceID {
+	var id TraceID
+	putLeU64(id[:8], t.next())
+	putLeU64(id[8:], t.next())
+	return id
+}
+
+func (t *Tracer) genSpanID() SpanID {
+	var id SpanID
+	putLeU64(id[:], t.next())
+	return id
+}
+
+// GenIDString returns a fresh 32-hex id for request correlation outside
+// any span — the server's request_id when a request is unsampled and
+// carries no traceparent but still needs a greppable identity (debug
+// logging, error paths).
+func (t *Tracer) GenIDString() string { return t.genTraceID().String() }
+
+// StartRoot makes the sampling decision for one request and, when it
+// samples, returns a live root span threaded into ctx. traceparent is
+// the raw request header value ("" for none): a valid header contributes
+// the trace id and remote parent, and its sampled flag forces sampling
+// regardless of rate. Unsampled requests return (ctx, nil) with zero
+// allocations.
+func (t *Tracer) StartRoot(ctx context.Context, name, traceparent string) (context.Context, *Span) {
+	tid, pid, flags, okTP := ParseTraceparent(traceparent)
+	if !(okTP && flags&1 != 0) && !t.sampleHead() {
+		return ctx, nil
+	}
+	return t.startRoot(ctx, name, tid, pid, okTP)
+}
+
+// StartRootForced starts an always-sampled root span — for cold control
+// paths (rotate, migrate, snapshot, restore, autotune) where a trace per
+// invocation is cheap and always wanted.
+func (t *Tracer) StartRootForced(ctx context.Context, name string) (context.Context, *Span) {
+	return t.startRoot(ctx, name, TraceID{}, SpanID{}, false)
+}
+
+func (t *Tracer) startRoot(ctx context.Context, name string, tid TraceID, pid SpanID, remote bool) (context.Context, *Span) {
+	if !remote || tid.IsZero() {
+		tid = t.genTraceID()
+	}
+	s := &Span{
+		tracer:   t,
+		name:     name,
+		traceID:  tid,
+		spanID:   t.genSpanID(),
+		parentID: pid,
+		start:    time.Now(),
+	}
+	if t.cSampled != nil {
+		t.cSampled.Inc()
+	}
+	return ContextWithSpan(ctx, s), s
+}
+
+// RecordSlow retains a post-hoc root span for a request that was not
+// head-sampled but breached the slow threshold: the span is synthesized
+// already-ended (childless — the tree was never built) and pushed into
+// the ring with a slow_capture marker. traceID may be zero (one is
+// generated). No-op on the zero tracer.
+func (t *Tracer) RecordSlow(name string, traceID TraceID, start time.Time, durNs int64, attrs ...Attr) {
+	if len(t.ring) == 0 {
+		return
+	}
+	if traceID.IsZero() {
+		traceID = t.genTraceID()
+	}
+	s := &Span{
+		name:    name,
+		traceID: traceID,
+		spanID:  t.genSpanID(),
+		start:   start,
+		durNs:   durNs,
+		ended:   true,
+		attrs:   append(attrs, Attr{Key: "slow_capture", Value: true}),
+	}
+	if t.cSlow != nil {
+		t.cSlow.Inc()
+	}
+	t.push(s)
+}
+
+// push retains a completed root span. Lock-free: claim a slot, store.
+// Two writers racing the same slot (a full ring-lap apart) leave one of
+// the two spans — acceptable for a debug ring.
+func (t *Tracer) push(s *Span) {
+	if len(t.ring) == 0 {
+		return
+	}
+	i := t.head.Add(1) - 1
+	t.ring[i%uint64(len(t.ring))].Store(s)
+}
+
+// TotalSampled returns the number of root spans ever pushed (retained or
+// since overwritten).
+func (t *Tracer) TotalSampled() uint64 { return t.head.Load() }
+
+// Spans snapshots the retained root spans, newest first.
+func (t *Tracer) Spans() []*Span {
+	if len(t.ring) == 0 {
+		return nil
+	}
+	h := t.head.Load()
+	n := uint64(len(t.ring))
+	if h < n {
+		n = h
+	}
+	out := make([]*Span, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if s := t.ring[(h-1-i)%uint64(len(t.ring))].Load(); s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// tracesResponse is the GET /v1/debug/traces JSON shape.
+type tracesResponse struct {
+	TotalSampled uint64     `json:"total_sampled"`
+	RingSize     int        `json:"ring_size"`
+	Spans        []spanView `json:"spans"`
+}
+
+// Handler serves the retained spans as JSON, newest first. Query
+// parameters: min_ns keeps only roots at least that slow; name keeps
+// only roots with that exact name; limit caps the result count.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		minNs, _ := strconv.ParseInt(q.Get("min_ns"), 10, 64)
+		name := q.Get("name")
+		limit := len(t.ring)
+		if v := q.Get("limit"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+				limit = n
+			}
+		}
+		resp := tracesResponse{
+			TotalSampled: t.TotalSampled(),
+			RingSize:     len(t.ring),
+			Spans:        []spanView{},
+		}
+		for _, s := range t.Spans() {
+			if len(resp.Spans) >= limit {
+				break
+			}
+			if name != "" && s.Name() != name {
+				continue
+			}
+			if minNs > 0 && s.DurationNs() < minNs {
+				continue
+			}
+			resp.Spans = append(resp.Spans, s.view())
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
+}
+
+// ParseTraceparent parses a W3C trace-context traceparent header
+// ("00-<32 hex trace id>-<16 hex span id>-<2 hex flags>"). It allocates
+// nothing and returns ok=false for anything malformed, a version other
+// than 00, or an all-zero trace id.
+func ParseTraceparent(tp string) (tid TraceID, pid SpanID, flags byte, ok bool) {
+	if len(tp) != 55 || tp[0] != '0' || tp[1] != '0' ||
+		tp[2] != '-' || tp[35] != '-' || tp[52] != '-' {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	if !hexDecode(tid[:], tp[3:35]) || !hexDecode(pid[:], tp[36:52]) {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	var fb [1]byte
+	if !hexDecode(fb[:], tp[53:55]) {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	if tid.IsZero() {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	return tid, pid, fb[0], true
+}
+
+// TraceparentID extracts just the 32-hex trace id from a traceparent
+// header without allocating (the result aliases tp). ok=false when
+// malformed.
+func TraceparentID(tp string) (string, bool) {
+	if _, _, _, ok := ParseTraceparent(tp); !ok {
+		return "", false
+	}
+	return tp[3:35], true
+}
+
+// hexDecode decodes exactly len(dst)*2 lowercase-or-uppercase hex chars
+// into dst, allocation-free. Returns false on any non-hex byte.
+func hexDecode(dst []byte, src string) bool {
+	if len(src) != 2*len(dst) {
+		return false
+	}
+	for i := range dst {
+		hi, ok1 := hexVal(src[2*i])
+		lo, ok2 := hexVal(src[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}

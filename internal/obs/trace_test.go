@@ -1,0 +1,321 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A well-formed traceparent with the sampled flag set (the W3C spec's
+// own example ids).
+const (
+	tpSampled   = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tpUnsampled = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00"
+	tpTraceID   = "4bf92f3577b34da6a3ce929d0e0e4736"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	tid, pid, flags, ok := ParseTraceparent(tpSampled)
+	if !ok {
+		t.Fatal("valid traceparent rejected")
+	}
+	if tid.String() != tpTraceID {
+		t.Fatalf("trace id %s", tid)
+	}
+	if pid.String() != "00f067aa0ba902b7" {
+		t.Fatalf("parent span id %s", pid)
+	}
+	if flags != 1 {
+		t.Fatalf("flags %d", flags)
+	}
+	if id, ok := TraceparentID(tpSampled); !ok || id != tpTraceID {
+		t.Fatalf("TraceparentID = %q, %v", id, ok)
+	}
+
+	// Uppercase hex is tolerated; everything structurally wrong is not.
+	if _, _, _, ok := ParseTraceparent("00-4BF92F3577B34DA6A3CE929D0E0E4736-00F067AA0BA902B7-01"); !ok {
+		t.Error("uppercase hex rejected")
+	}
+	for _, bad := range []string{
+		"",
+		"not a traceparent",
+		tpSampled[:54],       // too short
+		tpSampled + "0",      // too long
+		"01" + tpSampled[2:], // unknown version
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // bad dash
+		"00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01", // non-hex
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+	} {
+		if _, _, _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("accepted malformed traceparent %q", bad)
+		}
+		if _, ok := TraceparentID(bad); ok {
+			t.Errorf("TraceparentID accepted %q", bad)
+		}
+	}
+}
+
+func TestStartRootSampling(t *testing.T) {
+	off := NewTracer(TracerOptions{SampleRate: 0})
+	ctx := context.Background()
+	if c, sp := off.StartRoot(ctx, "r", ""); sp != nil || c != ctx {
+		t.Fatal("rate-0 tracer sampled a plain request")
+	}
+	// The unsampled flag does not force; the sampled flag does.
+	if _, sp := off.StartRoot(ctx, "r", tpUnsampled); sp != nil {
+		t.Fatal("rate-0 tracer sampled flags=00")
+	}
+	_, sp := off.StartRoot(ctx, "r", tpSampled)
+	if sp == nil {
+		t.Fatal("sampled traceparent flag did not force sampling")
+	}
+	// The remote trace id is adopted, so the caller's id survives the hop.
+	if sp.TraceIDString() != tpTraceID {
+		t.Fatalf("root trace id %s, want the ingested %s", sp.TraceIDString(), tpTraceID)
+	}
+
+	on := NewTracer(TracerOptions{SampleRate: 1})
+	rctx, root := on.StartRoot(ctx, "r", "")
+	if root == nil {
+		t.Fatal("rate-1 tracer did not sample")
+	}
+	if root.TraceIDString() == "" || SpanFromContext(rctx) != root {
+		t.Fatal("sampled root not threaded into context")
+	}
+
+	// Forced roots ignore the rate entirely.
+	if _, sp := off.StartRootForced(ctx, "forced"); sp == nil {
+		t.Fatal("StartRootForced returned nil")
+	}
+}
+
+func TestSpanTreeAndRingNewestFirst(t *testing.T) {
+	tr := NewTracer(TracerOptions{SampleRate: 1, RingSize: 4})
+	names := []string{"r0", "r1", "r2", "r3", "r4", "r5"}
+	for _, n := range names {
+		_, sp := tr.StartRoot(context.Background(), n, "")
+		sp.End()
+	}
+	if got := tr.TotalSampled(); got != 6 {
+		t.Fatalf("TotalSampled = %d, want 6", got)
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring retained %d spans, want 4", len(spans))
+	}
+	for i, want := range []string{"r5", "r4", "r3", "r2"} {
+		if spans[i].Name() != want {
+			t.Fatalf("spans[%d] = %s, want %s (newest first)", i, spans[i].Name(), want)
+		}
+	}
+
+	// A child tree shares the trace id, links parents, and carries attrs.
+	ctx, root := tr.StartRoot(context.Background(), "root", "")
+	cctx, child := StartSpan(ctx, "child")
+	child.SetAttr("shard", 3)
+	_, grand := StartSpan(cctx, "grandchild")
+	grand.End()
+	child.End()
+	root.SetAttr("keys", 128)
+	root.End()
+
+	v := root.view()
+	if !v.Ended || v.TraceID != root.TraceIDString() {
+		t.Fatalf("root view %+v", v)
+	}
+	if len(v.Children) != 1 || v.Children[0].Name != "child" {
+		t.Fatalf("root children %+v", v.Children)
+	}
+	cv := v.Children[0]
+	if cv.TraceID != v.TraceID || cv.ParentSpanID != v.SpanID {
+		t.Fatalf("child not linked under root: %+v", cv)
+	}
+	if len(cv.Attrs) != 1 || cv.Attrs[0].Key != "shard" {
+		t.Fatalf("child attrs %+v", cv.Attrs)
+	}
+	if len(cv.Children) != 1 || cv.Children[0].Name != "grandchild" ||
+		cv.Children[0].ParentSpanID != cv.SpanID {
+		t.Fatalf("grandchild %+v", cv.Children)
+	}
+}
+
+func TestNilSpanIsInert(t *testing.T) {
+	var sp *Span
+	sp.SetAttr("k", "v")
+	sp.End()
+	if sp.Name() != "" || sp.TraceIDString() != "" || sp.DurationNs() != 0 {
+		t.Fatal("nil span leaked state")
+	}
+	if c := sp.StartChild("c"); c != nil {
+		t.Fatal("nil span produced a child")
+	}
+	ctx, child := StartSpan(context.Background(), "c")
+	if child != nil || SpanFromContext(ctx) != nil {
+		t.Fatal("StartSpan on a span-less context produced a span")
+	}
+}
+
+func TestRecordSlow(t *testing.T) {
+	// The zero tracer is fully disabled: no ring, no panic.
+	var off Tracer
+	off.RecordSlow("x", TraceID{}, time.Now(), 123)
+	if off.TotalSampled() != 0 {
+		t.Fatal("zero tracer retained a slow span")
+	}
+
+	tr := NewTracer(TracerOptions{RingSize: 8}) // rate 0: slow capture only
+	tr.RecordSlow("server.probe", TraceID{}, time.Now(), 5_000_000,
+		Attr{Key: "filter", Value: "f"})
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("retained %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Name() != "server.probe" || s.DurationNs() != 5_000_000 {
+		t.Fatalf("slow span %s dur %d", s.Name(), s.DurationNs())
+	}
+	v := s.view()
+	if !v.Ended {
+		t.Fatal("slow span not ended")
+	}
+	marked := false
+	for _, a := range v.Attrs {
+		if a.Key == "slow_capture" && a.Value == true {
+			marked = true
+		}
+	}
+	if !marked {
+		t.Fatalf("slow span lacks the slow_capture marker: %+v", v.Attrs)
+	}
+}
+
+func TestTracerHandlerFilters(t *testing.T) {
+	tr := NewTracer(TracerOptions{SampleRate: 1, RingSize: 16})
+	_, fast := tr.StartRoot(context.Background(), "fast", "")
+	fast.End()
+	tr.RecordSlow("slow", TraceID{}, time.Now(), 9_000_000)
+
+	get := func(query string) tracesResponse {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/debug/traces"+query, nil))
+		if rec.Code != 200 {
+			t.Fatalf("traces status %d", rec.Code)
+		}
+		var resp tracesResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	all := get("")
+	if all.TotalSampled != 2 || all.RingSize != 16 || len(all.Spans) != 2 {
+		t.Fatalf("unfiltered: total %d ring %d spans %d", all.TotalSampled, all.RingSize, len(all.Spans))
+	}
+	if all.Spans[0].Name != "slow" {
+		t.Fatalf("not newest-first: %s", all.Spans[0].Name)
+	}
+	if byName := get("?name=fast"); len(byName.Spans) != 1 || byName.Spans[0].Name != "fast" {
+		t.Fatalf("name filter: %+v", byName.Spans)
+	}
+	if slowOnly := get("?min_ns=1000000"); len(slowOnly.Spans) != 1 || slowOnly.Spans[0].Name != "slow" {
+		t.Fatalf("min_ns filter: %+v", slowOnly.Spans)
+	}
+	if limited := get("?limit=1"); len(limited.Spans) != 1 {
+		t.Fatalf("limit: %d spans", len(limited.Spans))
+	}
+}
+
+// TestSpanRingConcurrent hammers the full span lifecycle — roots,
+// children, attrs, End, ring reads, view snapshots — from many
+// goroutines. Its value is under -race (CI runs this package with it):
+// the ring claims must not tear and view must not deadlock against
+// live children.
+func TestSpanRingConcurrent(t *testing.T) {
+	tr := NewTracer(TracerOptions{SampleRate: 1, RingSize: 32})
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 300; i++ {
+				ctx, root := tr.StartRoot(context.Background(), "root", "")
+				_, c := StartSpan(ctx, "child")
+				c.SetAttr("i", i)
+				c.End()
+				root.SetAttr("w", w)
+				root.End()
+				if w == 0 && i%50 == 0 {
+					tr.RecordSlow("slow", TraceID{}, time.Now(), int64(i))
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, s := range tr.Spans() {
+					_ = s.view()
+					_ = s.DurationNs()
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if tr.TotalSampled() < 8*300 {
+		t.Fatalf("TotalSampled = %d, want >= %d", tr.TotalSampled(), 8*300)
+	}
+}
+
+// TestSpanZeroAllocsWhenUnsampled pins the tracing layer's contract with
+// the probe hot path: an unsampled request allocates nothing — not for
+// the sampling decision, not for traceparent parsing, not for the nil
+// span absorbing attrs and End.
+func TestSpanZeroAllocsWhenUnsampled(t *testing.T) {
+	tr := NewTracer(TracerOptions{SampleRate: 0, SlowNs: 0})
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c, sp := tr.StartRoot(ctx, "server.probe", "")
+		if sp != nil {
+			t.Fatal("sampled at rate 0")
+		}
+		cc, child := StartSpan(c, "shard.probe")
+		child.SetAttr("shard", "none")
+		child.End()
+		sp.End()
+		_ = cc
+		// Parsing an ingested (unsampled) traceparent is alloc-free too.
+		if _, sp := tr.StartRoot(ctx, "server.probe", tpUnsampled); sp != nil {
+			t.Fatal("sampled flags=00 at rate 0")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("unsampled span path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkStartSpanUnsampled(b *testing.B) {
+	tr := NewTracer(TracerOptions{SampleRate: 0})
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, sp := tr.StartRoot(ctx, "server.probe", "")
+		_, child := StartSpan(c, "shard.probe")
+		child.End()
+		sp.End()
+	}
+}

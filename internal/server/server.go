@@ -35,11 +35,22 @@
 //	                                 ρ_new, the hysteresis margin, and the
 //	                                 chosen configuration
 //	GET    /healthz                  liveness: uptime, Go version, VCS
-//	                                 revision
+//	                                 revision (always 200 while the
+//	                                 process serves)
+//	GET    /readyz                   readiness, split from liveness: 503
+//	                                 until the DataDir restore completes
+//	                                 and while a migration is in flight
 //	GET    /metrics                  Prometheus text exposition for every
 //	                                 layer (server batch plane, sharded
 //	                                 rotation machinery, adaptive control
 //	                                 loop); see internal/obs
+//	GET    /metrics/history          the self-scraped ring of periodic
+//	                                 registry snapshots (counter deltas +
+//	                                 windowed latency quantiles);
+//	                                 ?window=5m bounds the lookback
+//	GET    /v1/debug/traces          sampled request-scoped trace spans,
+//	                                 newest first (?min_ns=&name=&limit=);
+//	                                 see internal/obs and tracing.go
 //
 // Every filter is wrapped in perfilter.NewAdaptive: inserts and probes
 // feed atomic workload counters, and an append-only key log makes live
@@ -101,6 +112,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"perfilter"
@@ -158,6 +170,14 @@ type Options struct {
 	// handler (filter-server -pprof). Off by default: the profiling
 	// surface should be an explicit operator choice.
 	Pprof bool
+	// Tracer samples batch-plane requests into the span ring behind
+	// GET /v1/debug/traces; nil means obs.DefaultTracer (1% head
+	// sampling). Tests pass their own tracer for isolation.
+	Tracer *obs.Tracer
+	// TraceAutoSlow makes the history scraper continuously re-derive the
+	// tracer's slow-capture threshold as 2x the live probe p99
+	// (filter-server -trace-slow-ns=0, the default).
+	TraceAutoSlow bool
 }
 
 // Server is the filter registry plus its HTTP handlers.
@@ -175,6 +195,16 @@ type Server struct {
 	pprof     bool
 	started   time.Time
 	metrics   *serverMetrics
+	// tracer samples batch-plane requests; history self-scrapes the
+	// metrics registry (tracing.go).
+	tracer        *obs.Tracer
+	history       *obs.History
+	traceAutoSlow bool
+	// ready flips true once the DataDir restore (LoadAll) finishes —
+	// immediately at construction when there is nothing to restore.
+	// migrating counts in-flight migrations. Both feed GET /readyz.
+	ready     atomic.Bool
+	migrating atomic.Int32
 	// bufs pools the binary data plane's per-request buffers (raw body,
 	// decoded keys, selection vector) so the probe hot path does not
 	// allocate per request.
@@ -226,13 +256,23 @@ func New(opts Options) *Server {
 	if logger == nil {
 		logger = slog.Default()
 	}
+	tracer := opts.Tracer
+	if tracer == nil {
+		tracer = obs.DefaultTracer
+	}
 	s := &Server{
 		filters:  make(map[string]*entry),
 		maxBytes: maxBytes, maxBits: maxBits, totalBits: totalBits,
 		dataDir: opts.DataDir, tw: tw, policy: opts.Policy.WithDefaults(),
 		log: logger, pprof: opts.Pprof, started: time.Now(),
-		metrics: newServerMetrics(obs.Default),
+		metrics:       newServerMetrics(obs.Default),
+		tracer:        tracer,
+		history:       obs.NewHistory(obs.Default, 0),
+		traceAutoSlow: opts.TraceAutoSlow,
 	}
+	// With no data dir there is nothing to restore: ready from birth.
+	// Otherwise LoadAll flips the switch when the restore finishes.
+	s.ready.Store(opts.DataDir == "")
 	s.metrics.registerRegistryGauges(s)
 	return s
 }
@@ -257,16 +297,23 @@ func (s *Server) adaptiveOptions(tw, sigma, budget float64) perfilter.AdaptiveOp
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", obs.Default.Handler())
-	mux.HandleFunc("POST /v1/filters", s.handleCreate)
-	mux.HandleFunc("GET /v1/filters", s.handleList)
-	mux.HandleFunc("GET /v1/filters/{name}", s.handleStats)
-	mux.HandleFunc("DELETE /v1/filters/{name}", s.handleDelete)
-	mux.HandleFunc("POST /v1/filters/{name}/rotate", s.handleRotate)
-	mux.HandleFunc("GET /v1/filters/{name}/advice", s.handleAdvice)
-	mux.HandleFunc("GET /v1/filters/{name}/trace", s.handleTrace)
-	mux.HandleFunc("POST /v1/filters/{name}/migrate", s.handleMigrate)
-	mux.HandleFunc("POST /v1/filters/{name}/snapshot", s.handleSnapshot)
+	mux.Handle("GET /metrics/history", s.history.Handler())
+	mux.Handle("GET /v1/debug/traces", s.tracer.Handler())
+	// Control-plane handlers go through cp (tracing.go): every request
+	// gets an X-Trace-Id and a debug access line with its request_id.
+	mux.HandleFunc("POST /v1/filters", s.cp(s.handleCreate))
+	mux.HandleFunc("GET /v1/filters", s.cp(s.handleList))
+	mux.HandleFunc("GET /v1/filters/{name}", s.cp(s.handleStats))
+	mux.HandleFunc("DELETE /v1/filters/{name}", s.cp(s.handleDelete))
+	mux.HandleFunc("POST /v1/filters/{name}/rotate", s.cp(s.handleRotate))
+	mux.HandleFunc("GET /v1/filters/{name}/advice", s.cp(s.handleAdvice))
+	mux.HandleFunc("GET /v1/filters/{name}/trace", s.cp(s.handleTrace))
+	mux.HandleFunc("POST /v1/filters/{name}/migrate", s.cp(s.handleMigrate))
+	mux.HandleFunc("POST /v1/filters/{name}/snapshot", s.cp(s.handleSnapshot))
+	// The batch plane manages its own identity (beginBatch/finish): its
+	// zero-allocation budget rules out the unconditional wrapper.
 	mux.HandleFunc("POST /v1/filters/{name}/insert", s.handleInsert)
 	mux.HandleFunc("POST /v1/filters/{name}/probe", s.handleProbe)
 	if s.pprof {
@@ -592,6 +639,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"window": window, "window_insert_fraction": window.InsertFraction(),
 		"read_mostly":    readMostly,
 		"uptime_seconds": time.Since(s.started).Seconds(),
+		// Server-wide batch-plane latency quantiles (the histograms are
+		// global, not per filter), estimated log-linearly within the
+		// power-of-two buckets — see obs.Histogram.Quantile.
+		"latency_ns": map[string]any{
+			"probe":  histQuantiles(s.metrics.probeDur),
+			"insert": histQuantiles(s.metrics.insertDur),
+		},
 	}
 	if d, ok := e.f.LastMigration(); ok {
 		body["last_migration"] = map[string]any{
@@ -684,7 +738,17 @@ func (s *Server) handleRotate(w http.ResponseWriter, r *http.Request) {
 	e.rotating = true
 	s.mu.Unlock()
 
-	err := e.f.Rotate(req.MBits, nil)
+	// Rotations are rare and operator-initiated: always trace them. The
+	// span gains "sharded.rotate" children (dual-write window width,
+	// seal) from the layers below.
+	ctx, sp := s.tracer.StartRootForced(r.Context(), "server.rotate")
+	sp.SetAttr("filter", name)
+	sp.SetAttr("mbits", req.MBits)
+	err := e.f.RotateCtx(ctx, req.MBits, nil)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
 
 	s.mu.Lock()
 	registered := s.filters[name] == e
@@ -877,14 +941,17 @@ func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	status, body := s.migrateEntry(name, e, cfg, mBits)
+	status, body := s.migrateEntry(r.Context(), name, e, cfg, mBits)
 	writeJSON(w, status, body)
 }
 
 // migrateEntry performs one accounted live migration: single-flighted per
 // filter, the size delta reserved against the memory budget up front
 // (mirroring handleRotate) and re-accounted to the built size afterwards.
-func (s *Server) migrateEntry(name string, e *entry, cfg perfilter.Config, mBits uint64) (int, map[string]any) {
+// The migration is always traced (a forced "server.migrate" root unless
+// ctx already carries a span) and counted in s.migrating while the
+// rebuild runs, flipping /readyz to 503.
+func (s *Server) migrateEntry(ctx context.Context, name string, e *entry, cfg perfilter.Config, mBits uint64) (int, map[string]any) {
 	if mBits > s.maxBits {
 		return http.StatusBadRequest, errBody(fmt.Errorf("mbits %d exceeds the server cap of %d", mBits, s.maxBits))
 	}
@@ -910,7 +977,23 @@ func (s *Server) migrateEntry(name string, e *entry, cfg perfilter.Config, mBits
 	s.mu.Unlock()
 
 	fromKind := e.f.Config().Kind.String()
-	err := e.f.Migrate(cfg, mBits)
+	var sp *obs.Span
+	if obs.SpanFromContext(ctx) != nil {
+		ctx, sp = obs.StartSpan(ctx, "server.migrate")
+	} else {
+		ctx, sp = s.tracer.StartRootForced(ctx, "server.migrate")
+	}
+	sp.SetAttr("filter", name)
+	sp.SetAttr("from", fromKind)
+	sp.SetAttr("to", cfg.Kind.String())
+	sp.SetAttr("mbits", mBits)
+	s.migrating.Add(1)
+	err := e.f.MigrateCtx(ctx, cfg, mBits)
+	s.migrating.Add(-1)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
 
 	s.mu.Lock()
 	if s.filters[name] == e {
@@ -969,19 +1052,35 @@ func (s *Server) AutotuneOnce() []AutotuneResult {
 		entries = append(entries, e)
 	}
 	s.mu.RUnlock()
+	// One forced root span per sweep: each filter's evaluation is a
+	// child carrying the modeled overheads (rho_cur vs rho_new) so an
+	// operator can read *why* the loop did or did not act.
+	ctx, sweep := s.tracer.StartRootForced(context.Background(), "server.autotune")
+	sweep.SetAttr("filters", len(names))
+	defer sweep.End()
 	results := make([]AutotuneResult, 0, len(names))
 	for i, name := range names {
 		e := entries[i]
+		ev := sweep.StartChild("autotune.filter")
+		ev.SetAttr("filter", name)
 		adv, err := e.f.Advice()
 		if err != nil {
+			ev.SetAttr("error", err.Error())
+			ev.End()
 			results = append(results, AutotuneResult{Name: name, Err: err.Error()})
 			continue
 		}
+		ev.SetAttr("rho_cur", adv.Current.Overhead)
+		ev.SetAttr("rho_new", adv.Best.Overhead)
+		ev.SetAttr("would_migrate", adv.WouldMigrate)
+		ev.SetAttr("reason", adv.Reason)
 		if !adv.WouldMigrate {
+			ev.End()
 			results = append(results, AutotuneResult{Name: name, Reason: adv.Reason})
 			continue
 		}
-		status, body := s.migrateEntry(name, e, adv.Best.Config, adv.Best.MBits)
+		status, body := s.migrateEntry(obs.ContextWithSpan(ctx, ev), name, e, adv.Best.Config, adv.Best.MBits)
+		ev.End()
 		res := AutotuneResult{Name: name, Reason: adv.Reason}
 		if status == http.StatusOK {
 			res.Migrated = true
@@ -1040,8 +1139,16 @@ var errDeletedDuringSnapshot = errors.New("filter was deleted during snapshot")
 // Publication happens under fileMu and only while e is still the
 // registered entry, so a racing DELETE can neither be resurrected by
 // this snapshot nor have a successor's snapshot clobbered by it.
-func (s *Server) saveSnapshot(name string, e *entry) (int, error) {
+// parent, when non-nil, gains a "snapshot.save" child span.
+func (s *Server) saveSnapshot(parent *obs.Span, name string, e *entry) (int, error) {
+	sp := parent.StartChild("snapshot.save")
+	sp.SetAttr("filter", name)
 	n, err := s.saveSnapshotInner(name, e)
+	sp.SetAttr("bytes", n)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
 	if err != nil {
 		s.metrics.snapshotErr.Inc()
 		s.log.Warn("snapshot save failed", "filter", name, "err", err)
@@ -1112,7 +1219,14 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			errors.New("server has no data dir (start filter-server with -data-dir)"))
 		return
 	}
-	n, err := s.saveSnapshot(name, e)
+	_, sp := s.tracer.StartRootForced(r.Context(), "server.snapshot")
+	sp.SetAttr("filter", name)
+	n, err := s.saveSnapshot(sp, name, e)
+	sp.SetAttr("bytes", n)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
 	if errors.Is(err, errDeletedDuringSnapshot) {
 		writeErr(w, http.StatusConflict, err)
 		return
@@ -1144,10 +1258,13 @@ func (s *Server) SaveAll() (int, error) {
 		entries = append(entries, e)
 	}
 	s.mu.RUnlock()
+	_, sp := s.tracer.StartRootForced(context.Background(), "server.saveall")
+	sp.SetAttr("filters", len(names))
+	defer sp.End()
 	var errs []error
 	saved := 0
 	for i, name := range names {
-		if _, err := s.saveSnapshot(name, entries[i]); err != nil {
+		if _, err := s.saveSnapshot(sp, name, entries[i]); err != nil {
 			errs = append(errs, err)
 			continue
 		}
@@ -1162,6 +1279,10 @@ func (s *Server) SaveAll() (int, error) {
 // skipped and reported joined; the rest are served. Names already
 // registered are skipped (first registration wins).
 func (s *Server) LoadAll() (int, error) {
+	// Whatever happens below, the restore attempt is over when this
+	// returns: flip /readyz to ready even on a failed restore — the
+	// server then serves what it has, which beats staying 503 forever.
+	defer s.ready.Store(true)
 	if s.dataDir == "" {
 		return 0, nil
 	}
@@ -1172,8 +1293,13 @@ func (s *Server) LoadAll() (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	_, root := s.tracer.StartRootForced(context.Background(), "server.restore")
 	var errs []error
 	loaded := 0
+	defer func() {
+		root.SetAttr("loaded", loaded)
+		root.End()
+	}()
 	for _, de := range dirents {
 		if de.IsDir() {
 			continue
@@ -1192,8 +1318,12 @@ func (s *Server) LoadAll() (int, error) {
 			errs = append(errs, fmt.Errorf("snapshot %q: invalid filter name", de.Name()))
 			continue
 		}
+		sp := root.StartChild("snapshot.load")
+		sp.SetAttr("filter", name)
 		data, err := os.ReadFile(filepath.Join(s.dataDir, de.Name()))
 		if err != nil {
+			sp.SetAttr("error", err.Error())
+			sp.End()
 			errs = append(errs, err)
 			continue
 		}
@@ -1216,6 +1346,8 @@ func (s *Server) LoadAll() (int, error) {
 			}
 		}
 		if err != nil {
+			sp.SetAttr("error", err.Error())
+			sp.End()
 			s.metrics.restoreErr.Inc()
 			s.log.Warn("snapshot restore failed", "snapshot", de.Name(), "err", err)
 			errs = append(errs, fmt.Errorf("snapshot %q: %w", de.Name(), err))
@@ -1247,11 +1379,16 @@ func (s *Server) LoadAll() (int, error) {
 		}
 		s.mu.Unlock()
 		if rejected != nil {
+			sp.SetAttr("error", rejected.Error())
+			sp.End()
 			s.metrics.restoreErr.Inc()
 			s.log.Warn("snapshot restore rejected", "snapshot", de.Name(), "err", rejected)
 			errs = append(errs, rejected)
 			continue
 		}
+		sp.SetAttr("bits", bits)
+		sp.SetAttr("generation", f.Generation())
+		sp.End()
 		s.metrics.restoreOK.Inc()
 		s.log.Info("snapshot restored",
 			"filter", name, "kind", f.Config().Kind.String(),
@@ -1292,9 +1429,13 @@ func (s *Server) putBuffers(pb *probeBuffers) {
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
-	_, e, ok := s.lookup(w, r)
+	name, e, ok := s.lookup(w, r)
 	if !ok {
 		return
+	}
+	ctx, bt := s.beginBatch(r, "server.insert", "insert", name)
+	if bt.id != "" {
+		w.Header().Set("X-Trace-Id", bt.id)
 	}
 	pb := s.getBuffers()
 	defer s.putBuffers(pb)
@@ -1302,10 +1443,11 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.metrics.insertErrs.Inc()
 		writeErr(w, http.StatusBadRequest, err)
+		bt.finish(s, http.StatusBadRequest, 0, 0)
 		return
 	}
 	start := time.Now()
-	inserted, err := e.f.InsertBatch(keys)
+	inserted, err := e.f.InsertBatchCtx(ctx, keys)
 	s.metrics.insertDur.Observe(time.Since(start).Nanoseconds())
 	s.metrics.dataIn.Add(uint64(4 * len(keys)))
 	// Keys submitted, matching the probe series' semantics; the
@@ -1321,12 +1463,14 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInsufficientStorage, map[string]any{
 			"error": err.Error(), "inserted": inserted, "count": e.f.Count(),
 		})
+		bt.finish(s, http.StatusInsufficientStorage, len(keys), inserted)
 		return
 	}
 	s.metrics.insertReqs.Inc()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"inserted": inserted, "count": e.f.Count(),
 	})
+	bt.finish(s, http.StatusOK, len(keys), inserted)
 }
 
 func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
@@ -1334,16 +1478,21 @@ func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	ctx, bt := s.beginBatch(r, "server.probe", "probe", name)
+	if bt.id != "" {
+		w.Header().Set("X-Trace-Id", bt.id)
+	}
 	pb := s.getBuffers()
 	defer s.putBuffers(pb)
 	keys, err := s.readKeys(r, pb)
 	if err != nil {
 		s.metrics.probeErrs.Inc()
 		writeErr(w, http.StatusBadRequest, err)
+		bt.finish(s, http.StatusBadRequest, 0, 0)
 		return
 	}
 	start := time.Now()
-	sel := e.f.ContainsBatch(keys, pb.sel[:0])
+	sel := e.f.ContainsBatchCtx(ctx, keys, pb.sel[:0])
 	pb.sel = sel
 	s.metrics.probeDur.Observe(time.Since(start).Nanoseconds())
 	s.metrics.dataIn.Add(uint64(4 * len(keys)))
@@ -1356,6 +1505,7 @@ func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"probed": len(keys), "positions": sel,
 		})
+		bt.finish(s, http.StatusOK, len(keys), len(sel))
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -1366,10 +1516,12 @@ func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
 		// The status line is gone; aborting leaves the client a short
 		// read (Content-Length mismatch / cut connection), but the
 		// truncation must at least be visible server-side instead of
-		// passing silently for a complete response.
+		// passing silently for a complete response. The request id makes
+		// the aborted request greppable even when it was never sampled.
 		s.log.Warn("probe selection stream aborted after write error",
-			"filter", name, "err", err)
+			"filter", name, "err", err, "request_id", bt.requestID(s))
 	}
+	bt.finish(s, http.StatusOK, len(keys), len(sel))
 }
 
 // presizeHintCap bounds how much readKeys preallocates from the declared

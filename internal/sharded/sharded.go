@@ -1,6 +1,7 @@
 package sharded
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -330,6 +331,18 @@ func (f *Filter) Insert(key Key) error {
 // from ErrFull should rotate to a larger generation and replay the whole
 // batch rather than resume mid-batch.
 func (f *Filter) InsertBatch(keys []Key) (int, error) {
+	return f.InsertBatchCtx(context.Background(), keys)
+}
+
+// InsertBatchCtx is InsertBatch with request-scoped tracing: when ctx
+// carries a sampled span (obs.SpanFromContext non-nil), each per-shard
+// run emits a "shard.insert" child span with the shard index, generation
+// sequence and key count, and runs replayed into staging or successor
+// generations during a rotation's dual-write window are flagged
+// dual_write=true. Unsampled contexts pay one pointer lookup and
+// nothing else.
+func (f *Filter) InsertBatchCtx(ctx context.Context, keys []Key) (int, error) {
+	parent := obs.SpanFromContext(ctx)
 	n := len(keys)
 	if n == 0 {
 		return 0, nil
@@ -365,13 +378,31 @@ func (f *Filter) InsertBatch(keys []Key) (int, error) {
 	// The scatter is generation-independent (rotations preserve the shard
 	// count), so the same grouped runs replay into staging and successor
 	// generations for the lossless re-check below.
-	insertAll := func(g *generation) (int, error) {
+	// shardSpan opens one per-shard child span; nil parent (unsampled)
+	// returns nil, which every Span method absorbs.
+	shardSpan := func(g *generation, s, count int, dual bool) *obs.Span {
+		if parent == nil {
+			return nil
+		}
+		c := parent.StartChild("shard.insert")
+		c.SetAttr("shard", s)
+		c.SetAttr("generation", g.seq)
+		c.SetAttr("keys", count)
+		if dual {
+			c.SetAttr("dual_write", true)
+		}
+		return c
+	}
+	insertAll := func(g *generation, dual bool) (int, error) {
 		if p == 1 {
+			c := shardSpan(g, 0, n, dual)
 			s := g.shards[0]
 			s.mu.Lock()
 			defer s.mu.Unlock()
+			defer c.End()
 			for i, k := range keys {
 				if err := s.f.Insert(k); err != nil {
+					c.SetAttr("error", err.Error())
 					return i, err
 				}
 				s.count++
@@ -384,32 +415,37 @@ func (f *Filter) InsertBatch(keys []Key) (int, error) {
 			if lo == hi {
 				continue
 			}
+			c := shardSpan(g, s, int(hi-lo), dual)
 			sh := g.shards[s]
 			sh.mu.Lock()
 			for _, k := range sc.skeys[lo:hi] {
 				if err := sh.f.Insert(k); err != nil {
 					sh.mu.Unlock()
+					c.SetAttr("error", err.Error())
+					c.End()
 					return inserted, err
 				}
 				sh.count++
 				inserted++
 			}
 			sh.mu.Unlock()
+			c.End()
 		}
 		return inserted, nil
 	}
 
-	inserted, err := insertAll(g)
+	inserted, err := insertAll(g, false)
 	if err != nil {
 		return inserted, err
 	}
 	// Lossless re-check, mirroring Insert (gen re-checked last): replay
 	// the batch into any newer generation a concurrent Rotate staged or
-	// swapped in.
+	// swapped in. These replays are the dual-write window's cost; their
+	// spans carry dual_write=true.
 	top := g
 	for {
 		if st := f.staging.Load(); st != nil && st.id > top.id {
-			if _, err := insertAll(st); err != nil {
+			if _, err := insertAll(st, true); err != nil {
 				return inserted, err
 			}
 			top = st
@@ -418,7 +454,7 @@ func (f *Filter) InsertBatch(keys []Key) (int, error) {
 		if cur.id <= top.id {
 			return inserted, nil
 		}
-		if _, err := insertAll(cur); err != nil {
+		if _, err := insertAll(cur, true); err != nil {
 			return inserted, err
 		}
 		top = cur
@@ -443,13 +479,36 @@ func (f *Filter) Contains(key Key) bool {
 // are merged back in ascending position order — byte-identical to probing
 // the shards sequentially and to the scalar Contains path.
 func (f *Filter) ContainsBatch(keys []Key, sel core.SelVec) core.SelVec {
+	return f.ContainsBatchCtx(context.Background(), keys, sel)
+}
+
+// ContainsBatchCtx is ContainsBatch with request-scoped tracing: when
+// ctx carries a sampled span, each probed shard emits a "shard.probe"
+// child span with the shard index, generation sequence, key count and
+// hit count — safe under the parallel gather (spans lock only
+// themselves). Unsampled contexts pay one pointer lookup and nothing
+// else.
+func (f *Filter) ContainsBatchCtx(ctx context.Context, keys []Key, sel core.SelVec) core.SelVec {
+	parent := obs.SpanFromContext(ctx)
 	g := f.gen.Load()
 	p := len(g.shards)
 	if p == 1 {
+		var c *obs.Span
+		if parent != nil {
+			c = parent.StartChild("shard.probe")
+			c.SetAttr("shard", 0)
+			c.SetAttr("generation", g.seq)
+			c.SetAttr("keys", len(keys))
+		}
 		s := g.shards[0]
 		s.mu.RLock()
+		before := len(sel)
 		sel = s.f.ContainsBatch(keys, sel)
 		s.mu.RUnlock()
+		if c != nil {
+			c.SetAttr("hits", len(sel)-before)
+			c.End()
+		}
 		return sel
 	}
 	n := len(keys)
@@ -493,6 +552,13 @@ func (f *Filter) ContainsBatch(keys []Key, sel core.SelVec) core.SelVec {
 		if lo == hi {
 			return
 		}
+		var c *obs.Span
+		if parent != nil {
+			c = parent.StartChild("shard.probe")
+			c.SetAttr("shard", s)
+			c.SetAttr("generation", g.seq)
+			c.SetAttr("keys", int(hi-lo))
+		}
 		sub := skeys[lo:hi]
 		sh := g.shards[s]
 		sh.mu.RLock()
@@ -501,6 +567,10 @@ func (f *Filter) ContainsBatch(keys []Key, sel core.SelVec) core.SelVec {
 		sc.psel[s] = psel
 		for _, pos := range psel {
 			hits[sidx[lo+uint32(pos)]] = true
+		}
+		if c != nil {
+			c.SetAttr("hits", len(psel))
+			c.End()
 		}
 	}
 	if workers := min(p, runtime.GOMAXPROCS(0)); n >= parallelBatchMin && workers > 1 {
@@ -554,18 +624,30 @@ func (f *Filter) ContainsBatch(keys []Key, sel core.SelVec) core.SelVec {
 // writers append to before inserting with a fill that replays it, and
 // the two windows overlap — no acknowledged write is ever lost.
 func (f *Filter) Rotate(factory Factory, fill func(insert func(Key) error) error) error {
+	return f.RotateCtx(context.Background(), factory, fill)
+}
+
+// RotateCtx is Rotate with request-scoped tracing: when ctx carries a
+// sampled span, the rotation emits a "sharded.rotate" child covering
+// construction through swap — annotated with the shard count, target
+// generation sequence, dual-write window length and, for build-once
+// kinds, a nested "sharded.seal" span over the solve loop.
+func (f *Filter) RotateCtx(ctx context.Context, factory Factory, fill func(insert func(Key) error) error) error {
+	_, sp := obs.StartSpan(ctx, "sharded.rotate")
 	start := time.Now()
-	err := f.rotate(factory, fill)
+	err := f.rotate(sp, factory, fill)
 	mRotationDur.Observe(time.Since(start).Nanoseconds())
 	if err != nil {
 		mRotationAborts.Inc()
+		sp.SetAttr("error", err.Error())
 	} else {
 		mRotations.Inc()
 	}
+	sp.End()
 	return err
 }
 
-func (f *Filter) rotate(factory Factory, fill func(insert func(Key) error) error) error {
+func (f *Filter) rotate(sp *obs.Span, factory Factory, fill func(insert func(Key) error) error) error {
 	f.rotateMu.Lock()
 	defer f.rotateMu.Unlock()
 	if factory == nil {
@@ -580,6 +662,8 @@ func (f *Filter) rotate(factory Factory, fill func(insert func(Key) error) error
 	if err != nil {
 		return err
 	}
+	sp.SetAttr("shards", len(old.shards))
+	sp.SetAttr("generation", ng.seq)
 	// Open the dual-write window before fill starts: from here until just
 	// after the swap, concurrent writers also insert into ng, covering
 	// every key a fill-side snapshot (e.g. a log read) can miss. The
@@ -588,7 +672,9 @@ func (f *Filter) rotate(factory Factory, fill func(insert func(Key) error) error
 	windowStart := time.Now()
 	closeWindow := func() {
 		f.staging.Store(nil)
-		mDualWriteDur.Observe(time.Since(windowStart).Nanoseconds())
+		windowNs := time.Since(windowStart).Nanoseconds()
+		mDualWriteDur.Observe(windowNs)
+		sp.SetAttr("dual_write_window_ns", windowNs)
 	}
 	f.staging.Store(ng)
 	if fill != nil {
@@ -604,6 +690,8 @@ func (f *Filter) rotate(factory Factory, fill func(insert func(Key) error) error
 	// the shard lock serializes them against the seal, and keys arriving
 	// after it take the shard's overflow path.
 	if _, seals := ng.shards[0].f.(Sealer); seals {
+		sealSp := sp.StartChild("sharded.seal")
+		sealSp.SetAttr("shards", len(ng.shards))
 		sealStart := time.Now()
 		for i, s := range ng.shards {
 			sealer, ok := s.f.(Sealer)
@@ -615,11 +703,14 @@ func (f *Filter) rotate(factory Factory, fill func(insert func(Key) error) error
 			s.mu.Unlock()
 			if err != nil {
 				mSealDur.Observe(time.Since(sealStart).Nanoseconds())
+				sealSp.SetAttr("error", err.Error())
+				sealSp.End()
 				closeWindow()
 				return fmt.Errorf("sharded: seal shard %d: %w", i, err)
 			}
 		}
 		mSealDur.Observe(time.Since(sealStart).Nanoseconds())
+		sealSp.End()
 	}
 	f.factory = factory
 	f.gen.Store(ng)
