@@ -179,8 +179,13 @@ func (a *Adaptive) StartTuner(interval time.Duration) {
 	a.tuner.Start(interval, func() { a.Reoptimize() })
 }
 
-// Close stops the background tuner, if any. The filter stays usable.
-func (a *Adaptive) Close() { a.tuner.Stop() }
+// Close stops the background tuner, if any, and releases the underlying
+// sharded filter's persistent batch-gather workers. The filter stays
+// usable (large batches fall back to their caller's goroutine).
+func (a *Adaptive) Close() {
+	a.tuner.Stop()
+	a.s.Close()
+}
 
 // TunerRunning reports whether the background loop is active.
 func (a *Adaptive) TunerRunning() bool { return a.tuner.Running() }
@@ -374,6 +379,10 @@ func (a *Adaptive) Generation() uint64 { return a.s.Generation() }
 // Stats implements ConcurrentFilter (shard occupancy; the workload
 // counters are returned by Counters).
 func (a *Adaptive) Stats() ShardStats { return a.s.Stats() }
+
+// StorageAligned reports whether every shard's word storage is
+// cache-line aligned.
+func (a *Adaptive) StorageAligned() bool { return a.s.StorageAligned() }
 
 // Counters returns a snapshot of the tracked workload.
 func (a *Adaptive) Counters() adaptive.Counters { return a.stats.Snapshot() }

@@ -60,7 +60,7 @@ var familyFigs = map[string]struct {
 // figTokens enumerates the accepted -fig values: the numbered figures,
 // the registry-derived family experiments, and the ablation.
 func figTokens() []string {
-	toks := []string{"3", "5", "9", "14", "15"}
+	toks := []string{"3", "5", "9", "14", "15", "kernels"}
 	for _, name := range perfilter.KindNames() {
 		if _, ok := familyFigs[name]; ok {
 			toks = append(toks, name)
@@ -88,6 +88,7 @@ func main() {
 	adaptiveRun := flag.Bool("adaptive", false, "run the live Bloom↔Cuckoo crossover scenario (adaptive re-optimization)")
 	tw := flag.Float64("tw", 0, "work saved per pruned probe for -adaptive, in cycles (0 = 10000, or 400 with -quick)")
 	jsonPath := flag.String("json", "", "also write a BENCH_*.json throughput/FPR summary to this path")
+	baseline := flag.String("baseline", "", "compare this run's series against a prior BENCH_*.json; exit non-zero on a large throughput regression")
 	flag.Parse()
 
 	eff := bench.FullEffort()
@@ -158,6 +159,14 @@ func main() {
 			fmt.Println("# Figure 15: batch-kernel speedups (host; see EXPERIMENTS.md for the SIMD gap)")
 			fig15 = bench.Fig15BatchSpeedup(eff)
 			fmt.Print(bench.FormatFig15(fig15))
+		case "kernels":
+			fmt.Println("# Hot-path kernels: sharded batched probe, persistent worker pool on vs off")
+			pool := bench.KernelsPool(*shards, bigBits, eff)
+			fmt.Print(bench.Format(pool))
+			fmt.Println("# Cache-sectorized probe, aligned vs misaligned word storage (x = log2 filter bits)")
+			align := bench.KernelsAlignment(eff)
+			fmt.Print(bench.Format(align))
+			series = append(append(series, pool...), align...)
 		case "ablation":
 			fmt.Println("# Ablation: cuckoo bucket size at tw=2^14 (the b=2 finding, §6)")
 			series = []bench.Series{bench.AblationCuckooBucket(1<<14, eff)}
@@ -184,5 +193,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("# summary written to %s\n", *jsonPath)
+	}
+
+	if *baseline != "" {
+		report, err := bench.CompareBaseline(*baseline, series, bench.RegressionTolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "filter-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(report.Format())
+		if report.Regressed() {
+			fmt.Fprintln(os.Stderr, "filter-bench: throughput regression against", *baseline)
+			os.Exit(1)
+		}
 	}
 }

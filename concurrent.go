@@ -188,6 +188,16 @@ func (s *Sharded) Generation() uint64 { return s.s.Generation() }
 // Stats implements ConcurrentFilter.
 func (s *Sharded) Stats() ShardStats { return s.s.Stats() }
 
+// StorageAligned reports whether every shard's word storage is
+// cache-line aligned (always true for filters built by NewSharded).
+func (s *Sharded) StorageAligned() bool { return s.s.StorageAligned() }
+
+// Close releases the filter's persistent batch-gather workers (see
+// internal/sharded). The filter remains fully usable afterwards — large
+// batches just run on their caller's goroutine. Optional: a finalizer
+// performs the same teardown when the filter becomes unreachable.
+func (s *Sharded) Close() { s.s.Close() }
+
 // Skew reports the per-shard insert-count imbalance as max/mean
 // (1 = perfectly even, P = all keys on one shard) — the balance
 // diagnostic behind the server's shard-skew gauge.

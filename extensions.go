@@ -58,6 +58,9 @@ func (c *CountingBloomFilter) Reset() { c.f.Reset() }
 // String implements Filter.
 func (c *CountingBloomFilter) String() string { return c.f.String() }
 
+// StorageAligned reports whether the counter array is cache-line aligned.
+func (c *CountingBloomFilter) StorageAligned() bool { return c.f.StorageAligned() }
+
 // Overflowed reports increments lost to counter saturation (diagnostics).
 func (c *CountingBloomFilter) Overflowed() uint64 { return c.f.Overflowed() }
 
@@ -101,6 +104,10 @@ func (s *ScalableBloomFilter) Reset() { s.f.Reset() }
 
 // String implements Filter.
 func (s *ScalableBloomFilter) String() string { return s.f.String() }
+
+// StorageAligned reports whether every stage's storage is cache-line
+// aligned.
+func (s *ScalableBloomFilter) StorageAligned() bool { return s.f.StorageAligned() }
 
 // Stages returns the current stage count.
 func (s *ScalableBloomFilter) Stages() int { return s.f.Stages() }

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+
+	"perfilter/internal/blocked"
+	"perfilter/internal/core"
+	"perfilter/internal/rng"
+)
+
+// The kernels experiment records the two hot-path mechanisms this library
+// adds beneath the paper's cost model, so CI can catch a regression in
+// either:
+//
+//   - pool-on / pool-off: batched probe throughput of the sharded filter
+//     with its persistent gather workers enabled vs every batch running on
+//     the caller's goroutine, across batch sizes straddling the fan-out
+//     threshold. Below the threshold the two series must coincide (the
+//     pool only engages at parallelBatchMin); above it the pooled series
+//     shows what the persistent workers buy on this host.
+//
+//   - aligned / misaligned: the cache-sectorized probe kernel on word
+//     storage starting exactly at a cache-line boundary vs storage
+//     deliberately offset one word past it, across filter sizes from
+//     L1-resident to DRAM. Misalignment makes some blocks straddle two
+//     lines, breaking the one-memory-access-per-probe property (§3), so
+//     the aligned series is the guarantee the mem allocator exists to keep.
+
+// measureBatches probes f with fresh pseudo-random batches of batchLen
+// keys until the deadline and returns millions of keys per second.
+func measureBatches(probe func(keys []core.Key, sel core.SelVec) core.SelVec, batchLen int, d time.Duration) float64 {
+	r := rng.NewMT19937(0xBE)
+	keys := make([]core.Key, batchLen)
+	for i := range keys {
+		keys[i] = r.Uint32()
+	}
+	sel := make(core.SelVec, 0, batchLen)
+	// One warm-up batch keys the lazy paths (scratch pools, pool spin-up).
+	sel = probe(keys, sel[:0])
+	start := time.Now()
+	deadline := start.Add(d)
+	var n uint64
+	for time.Now().Before(deadline) {
+		sel = probe(keys, sel[:0])
+		n += uint64(batchLen)
+	}
+	return float64(n) / time.Since(start).Seconds() / 1e6
+}
+
+// poolWorkersOn is the worker count the pool-on series forces: the
+// default sizing, but at least one worker so the pool mechanism is
+// exercised (and measured) even on a single-CPU host where the default
+// would be zero.
+func poolWorkersOn() int {
+	if w := runtime.GOMAXPROCS(0) - 1; w > 0 {
+		return w
+	}
+	return 1
+}
+
+// KernelsPool measures sharded batched-probe throughput (Mkeys/s) across
+// batch sizes, persistent worker pool on vs off. mBits is the total
+// filter size.
+func KernelsPool(shards int, mBits uint64, eff Effort) []Series {
+	if shards <= 0 {
+		shards = 8
+	}
+	batchLens := []int{1 << 10, 1 << 12, 1 << 14, 1 << 16}
+	on := Series{Name: "pool-on", XLabel: "batch", YLabel: "Mkeys/s"}
+	off := Series{Name: "pool-off", XLabel: "batch", YLabel: "Mkeys/s"}
+	for _, workers := range []int{poolWorkersOn(), 0} {
+		sf, err := newSharded(mBits, shards)
+		if err != nil {
+			panic(err)
+		}
+		sf.SetPoolSize(workers)
+		n := int(mBits / 12)
+		if n > maxFill {
+			n = maxFill
+		}
+		fill(func(k core.Key) bool { sf.Insert(k); return true }, n, 0xF11)
+		for _, bl := range batchLens {
+			y := measureBatches(sf.ContainsBatch, bl, eff.MinTime)
+			if workers > 0 {
+				on.X = append(on.X, float64(bl))
+				on.Y = append(on.Y, y)
+			} else {
+				off.X = append(off.X, float64(bl))
+				off.Y = append(off.Y, y)
+			}
+		}
+		sf.Close()
+	}
+	return []Series{on, off}
+}
+
+// KernelsAlignment measures the cache-sectorized probe kernel (Mkeys/s,
+// batches of core.DefaultBatch) on aligned vs deliberately misaligned
+// word storage across filter sizes.
+func KernelsAlignment(eff Effort) []Series {
+	sizes := []uint64{1 << 17, 1 << 23, 1 << 26}
+	aligned := Series{Name: "aligned", XLabel: "log2(m)", YLabel: "Mkeys/s"}
+	misaligned := Series{Name: "misaligned", XLabel: "log2(m)", YLabel: "Mkeys/s"}
+	for _, mBits := range sizes {
+		for _, mis := range []bool{false, true} {
+			var f blocked.Probe
+			var err error
+			if mis {
+				f, err = blocked.NewMisaligned(headlineParams(), mBits)
+			} else {
+				f, err = blocked.New(headlineParams(), mBits)
+			}
+			if err != nil {
+				panic(err)
+			}
+			n := int(mBits / 12)
+			if n > maxFill {
+				n = maxFill
+			}
+			fill(func(k core.Key) bool { f.Insert(k); return true }, n, 0xF11)
+			y := measureBatches(f.ContainsBatch, core.DefaultBatch, eff.MinTime)
+			x := float64(log2(mBits))
+			if mis {
+				misaligned.X = append(misaligned.X, x)
+				misaligned.Y = append(misaligned.Y, y)
+			} else {
+				aligned.X = append(aligned.X, x)
+				aligned.Y = append(aligned.Y, y)
+			}
+		}
+	}
+	return []Series{aligned, misaligned}
+}
+
+// Kernels runs both hot-path sub-experiments (see the package comment
+// above) and returns their four series.
+func Kernels(shards int, mBits uint64, eff Effort) []Series {
+	return append(KernelsPool(shards, mBits, eff), KernelsAlignment(eff)...)
+}
+
+// log2 returns floor(log2(x)) for x > 0.
+func log2(x uint64) int {
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}

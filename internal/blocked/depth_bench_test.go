@@ -1,0 +1,118 @@
+package blocked
+
+import (
+	"fmt"
+	"testing"
+
+	"perfilter/internal/rng"
+	"perfilter/internal/simd"
+)
+
+// TestPipelinedKernelsMatchGeneric pins the pipelined kernels to the
+// generic bit-walk kernel at batch lengths straddling every pipeline
+// boundary (empty, sub-depth, exact multiples, off-by-one around them),
+// so a depth change can never silently break the remainder loop or the
+// group-ahead mask precompute.
+func TestPipelinedKernelsMatchGeneric(t *testing.T) {
+	configs := []struct {
+		name   string
+		p      Params
+		unroll int
+	}{
+		{"register", RegisterBlockedParams(64, 8, false), registerUnroll},
+		{"register-magic", RegisterBlockedParams(32, 4, true), registerUnroll},
+		{"cachesec", CacheSectorizedParams(64, 512, 2, 8, false), cacheUnroll},
+		{"cachesec-magic", CacheSectorizedParams(64, 512, 2, 8, true), cacheUnroll},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			if cfg.unroll < simd.Width {
+				t.Fatalf("pipeline depth %d below simd.Width=%d", cfg.unroll, simd.Width)
+			}
+			pr, err := New(cfg.p, 1<<16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch f := pr.(type) {
+			case *Filter[uint32]:
+				checkGenericParity(t, f, cfg.unroll)
+			case *Filter[uint64]:
+				checkGenericParity(t, f, cfg.unroll)
+			default:
+				t.Fatalf("unexpected probe type %T", pr)
+			}
+		})
+	}
+}
+
+func checkGenericParity[W Word](t *testing.T, f *Filter[W], u int) {
+	t.Helper()
+	r := rng.NewMT19937(11)
+	for i := 0; i < 2000; i++ {
+		f.Insert(r.Uint32())
+	}
+	lens := []int{0, 1, u - 1, u, u + 1, 2*u - 1, 2 * u, 2*u + 1, 3*u + 3, 1024}
+	for _, n := range lens {
+		keys := make([]uint32, n)
+		for i := range keys {
+			keys[i] = r.Uint32()
+		}
+		got := f.ContainsBatch(keys, nil)
+		wantBuf := make([]uint32, n)
+		wantCnt := f.batchGeneric(keys, wantBuf, 0)
+		want := wantBuf[:wantCnt]
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: pipelined %d hits, generic %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: position %d: pipelined %d, generic %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// BenchmarkPipelineDepth probes the two pipelined kernels at an
+// L1-resident and a cache-missing filter size — the measurement behind
+// the registerUnroll/cacheUnroll depth constants in kernels.go.
+func BenchmarkPipelineDepth(b *testing.B) {
+	configs := []struct {
+		name string
+		p    Params
+	}{
+		{"register", RegisterBlockedParams(64, 8, false)},
+		{"cachesec", CacheSectorizedParams(64, 512, 2, 8, true)},
+	}
+	for _, size := range []uint64{1 << 17, 1 << 26, 1 << 29} {
+		for _, cfg := range configs {
+			b.Run(fmt.Sprintf("%s/bits=2^%d", cfg.name, log2u64(size)), func(b *testing.B) {
+				f, err := New(cfg.p, size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := rng.NewMT19937(1)
+				for i := 0; i < 1<<13; i++ {
+					f.Insert(r.Uint32())
+				}
+				probe := make([]uint32, 1024)
+				for i := range probe {
+					probe[i] = r.Uint32()
+				}
+				sel := make([]uint32, 0, 1024)
+				b.SetBytes(int64(len(probe) * 4))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sel = f.ContainsBatch(probe, sel[:0])
+				}
+			})
+		}
+	}
+}
+
+func log2u64(x uint64) int {
+	n := 0
+	for 1<<uint(n) < x {
+		n++
+	}
+	return n
+}

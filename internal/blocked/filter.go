@@ -7,6 +7,7 @@ import (
 	"perfilter/internal/core"
 	"perfilter/internal/hashing"
 	"perfilter/internal/magic"
+	"perfilter/internal/mem"
 	"perfilter/internal/rng"
 )
 
@@ -149,9 +150,37 @@ func newFilter[W Word](p Params, mBits uint64) (*Filter[W], error) {
 		f.numBlocks = uint32(pow)
 		f.blockMask = uint32(pow) - 1
 	}
-	f.words = make([]W, uint64(f.numBlocks)*uint64(f.wordsPerBlock))
+	// Cache-line-aligned storage: blocks are sized in cache-line
+	// multiples (or even fractions), so with element 0 on a 64-byte
+	// boundary no block straddles a line — the single-access probe cost
+	// the paper's layout assumes.
+	f.words = mem.Aligned[W](int(uint64(f.numBlocks) * uint64(f.wordsPerBlock)))
 	return f, nil
 }
+
+// NewMisaligned is New with the storage alignment guarantee deliberately
+// broken (element 0 sits one word past a cache-line boundary, so
+// line-sized blocks straddle two lines). It exists solely as the control
+// arm of the aligned-vs-misaligned benchmark in internal/bench; no
+// production caller should use it.
+func NewMisaligned(p Params, mBits uint64) (Probe, error) {
+	pr, err := New(p, mBits)
+	if err != nil {
+		return nil, err
+	}
+	switch f := pr.(type) {
+	case *Filter[uint32]:
+		f.words = mem.Misaligned[uint32](len(f.words))
+	case *Filter[uint64]:
+		f.words = mem.Misaligned[uint64](len(f.words))
+	}
+	return pr, nil
+}
+
+// StorageAligned reports whether the word array starts on a cache-line
+// boundary (always true for filters from New; false only for
+// NewMisaligned's benchmark control).
+func (f *Filter[W]) StorageAligned() bool { return mem.IsAligned(f.words) }
 
 // blockIndex consumes 32 hash bits and maps them onto [0, numBlocks).
 // Power-of-two and magic addressing consume the same number of bits so the

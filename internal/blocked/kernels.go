@@ -7,11 +7,27 @@ import (
 	"perfilter/internal/simd"
 )
 
-// batchUnroll is the software-pipeline width of the batch kernels: hashes
-// and block addresses for this many keys are computed before the
+// Software-pipeline depths of the batch kernels: hashes, block addresses
+// and search masks for this many keys are computed before the
 // corresponding words are loaded and tested, mirroring the paper's
-// one-key-per-SIMD-lane GATHER kernels (§5.1, see package simd).
-const batchUnroll = simd.Width
+// one-key-per-SIMD-lane GATHER kernels (§5.1, see package simd). The
+// compute phase runs several groups of simd.Width ahead of the load
+// phase, so the out-of-order window always holds multiple independent
+// cache misses.
+//
+// Each kernel's depth is a constant >= simd.Width chosen by benchmark
+// (BenchmarkPipelineDepth; the system-level numbers land in
+// BENCH_kernels.json via `filter-bench -fig kernels`): two groups ahead
+// beat one by ~8% on the cache-missing register-blocked probe, while
+// four groups ahead gave the win back — the per-key address/mask state
+// starts spilling — and the cache-sectorized kernel, which carries z
+// addresses and masks per key (8× the register kernel's state), showed
+// the same shape. Both kernels therefore precompute two simd.Width
+// groups ahead of the load phase.
+const (
+	registerUnroll = 2 * simd.Width // batchRegister
+	cacheUnroll    = 2 * simd.Width // batchCacheSectorized
+)
 
 // ContainsBatch appends to sel the positions of the keys that may be
 // contained and returns the extended selection vector. The kernel is
@@ -22,7 +38,7 @@ const batchUnroll = simd.Width
 // len(keys) must fit in a uint32 position; callers batch at vector
 // granularity (core.DefaultBatch) in practice.
 func (f *Filter[W]) ContainsBatch(keys []core.Key, sel core.SelVec) core.SelVec {
-	buf, cnt := growSel(sel, len(keys))
+	buf, cnt := simd.GrowSel(sel, len(keys))
 	switch {
 	case f.params.Variant() == RegisterBlocked:
 		cnt = f.batchRegister(keys, buf, cnt)
@@ -36,14 +52,9 @@ func (f *Filter[W]) ContainsBatch(keys []core.Key, sel core.SelVec) core.SelVec 
 	return buf[:cnt]
 }
 
-// growSel is simd.GrowSel under a local name for the kernels below.
-func growSel(sel core.SelVec, add int) (core.SelVec, int) {
-	return simd.GrowSel(sel, add)
-}
-
 // batchRegister is the register-blocked kernel (Listing 2): one word load
-// and one comparison per key. The pipeline phase computes batchUnroll block
-// addresses and search masks, then the gather phase loads and tests.
+// and one comparison per key. The pipeline phase computes registerUnroll
+// block addresses and search masks, then the gather phase loads and tests.
 func (f *Filter[W]) batchRegister(keys []core.Key, out []uint32, cnt int) int {
 	// Hoist every per-config constant into locals: the paper compiles one
 	// branch-free function per configuration; hoisting gives the Go
@@ -64,12 +75,12 @@ func (f *Filter[W]) batchRegister(keys []core.Key, out []uint32, cnt int) int {
 		bMask    = f.blockMask
 		planW    = f.planWords
 		hw       [6]uint64
-		idx      [batchUnroll]uint32
-		mask     [batchUnroll]W
+		idx      [registerUnroll]uint32
+		mask     [registerUnroll]W
 	)
 	i := 0
-	for ; i+batchUnroll <= n; i += batchUnroll {
-		for l := 0; l < batchUnroll; l++ {
+	for ; i+registerUnroll <= n; i += registerUnroll {
+		for l := 0; l < registerUnroll; l++ {
 			key := keys[i+l]
 			hw[0] = hashing.Mult64(key)
 			for w := uint32(1); w < planW; w++ {
@@ -99,7 +110,7 @@ func (f *Filter[W]) batchRegister(keys []core.Key, out []uint32, cnt int) int {
 			}
 			mask[l] = m
 		}
-		for l := 0; l < batchUnroll; l++ {
+		for l := 0; l < registerUnroll; l++ {
 			w := f.words[idx[l]]
 			out[cnt] = uint32(i + l)
 			var inc int
@@ -146,12 +157,12 @@ func (f *Filter[W]) batchCacheSectorized(keys []core.Key, out []uint32, cnt int)
 		bMask    = f.blockMask
 		planW    = f.planWords
 		hw       [6]uint64
-		widx     [batchUnroll][8]uint64 // cache-sectorized has z < s ≤ 16 ⇒ z ≤ 8
-		mask     [batchUnroll][8]W
+		widx     [cacheUnroll][8]uint64 // cache-sectorized has z < s ≤ 16 ⇒ z ≤ 8
+		mask     [cacheUnroll][8]W
 	)
 	i := 0
-	for ; i+batchUnroll <= n; i += batchUnroll {
-		for l := 0; l < batchUnroll; l++ {
+	for ; i+cacheUnroll <= n; i += cacheUnroll {
+		for l := 0; l < cacheUnroll; l++ {
 			key := keys[i+l]
 			hw[0] = hashing.Mult64(key)
 			for w := uint32(1); w < planW; w++ {
@@ -188,7 +199,7 @@ func (f *Filter[W]) batchCacheSectorized(keys []core.Key, out []uint32, cnt int)
 				mask[l][gi] = m
 			}
 		}
-		for l := 0; l < batchUnroll; l++ {
+		for l := 0; l < cacheUnroll; l++ {
 			var missing W
 			for gi := uint32(0); gi < z; gi++ {
 				w := f.words[widx[l][gi]]

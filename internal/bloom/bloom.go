@@ -20,6 +20,7 @@ import (
 	"perfilter/internal/fpr"
 	"perfilter/internal/hashing"
 	"perfilter/internal/magic"
+	"perfilter/internal/mem"
 	"perfilter/internal/simd"
 )
 
@@ -92,9 +93,13 @@ func New(p Params, mBits uint64) (*Filter, error) {
 		f.mBits = uint32(pow)
 		f.bitMask = uint32(pow) - 1
 	}
-	f.words = make([]uint64, (uint64(f.mBits)+63)/64)
+	f.words = mem.Aligned[uint64](int((uint64(f.mBits) + 63) / 64))
 	return f, nil
 }
+
+// StorageAligned reports whether the word array starts on a cache-line
+// boundary (always true for filters from New).
+func (f *Filter) StorageAligned() bool { return mem.IsAligned(f.words) }
 
 // bitPos consumes 32 hash bits and maps them to a bit position.
 func (f *Filter) bitPos(s *hashing.Sink) uint32 {

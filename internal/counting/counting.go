@@ -24,6 +24,7 @@ import (
 	"perfilter/internal/fpr"
 	"perfilter/internal/hashing"
 	"perfilter/internal/magic"
+	"perfilter/internal/mem"
 	"perfilter/internal/simd"
 )
 
@@ -106,9 +107,13 @@ func New(p Params, nCounters uint64) (*Filter, error) {
 		f.numBlocks = uint32(pow)
 		f.blockMask = uint32(pow) - 1
 	}
-	f.words = make([]uint64, uint64(f.numBlocks)*wordsPerBlock)
+	f.words = mem.Aligned[uint64](int(uint64(f.numBlocks) * wordsPerBlock))
 	return f, nil
 }
+
+// StorageAligned reports whether the counter array starts on a cache-line
+// boundary (always true for filters from New).
+func (f *Filter) StorageAligned() bool { return mem.IsAligned(f.words) }
 
 // counterPos resolves a key's i-th counter to (word index, bit shift).
 // The consumption discipline matches the register-blocked filters: one

@@ -36,6 +36,7 @@ import (
 	"perfilter/internal/fpr"
 	"perfilter/internal/hashing"
 	"perfilter/internal/magic"
+	"perfilter/internal/mem"
 	"perfilter/internal/rng"
 )
 
@@ -152,7 +153,7 @@ func New(p Params, mBits uint64) (*Filter, error) {
 		f.bucketMask = uint32(pow) - 1
 	}
 	totalBits := uint64(f.numBuckets) * uint64(f.bucketBits)
-	f.words = make([]uint64, (totalBits+63)/64+1) // +1: straddle-free tail reads
+	f.words = mem.Aligned[uint64](int((totalBits+63)/64 + 1)) // +1: straddle-free tail reads
 	f.kickRNG = *rng.NewSplitMix64(kickSeed)
 	return f, nil
 }
@@ -372,6 +373,10 @@ func (f *Filter) Params() Params { return f.params }
 
 // FPR returns the analytic false-positive rate (Eq. 8) with n keys stored.
 func (f *Filter) FPR(n uint64) float64 { return f.params.FPR(f.SizeBits(), n) }
+
+// StorageAligned reports whether the tag array starts on a cache-line
+// boundary (always true for filters from New).
+func (f *Filter) StorageAligned() bool { return mem.IsAligned(f.words) }
 
 // Reset clears the filter, including the kick-loop RNG state, so the
 // reset filter behaves identically to a freshly constructed one: the same

@@ -17,7 +17,7 @@ const batchUnroll = simd.Width
 // branch-free SWAR comparison ("one comparison per bucket"); other
 // configurations and filters holding a victim fall back to the scalar path.
 func (f *Filter) ContainsBatch(keys []core.Key, sel core.SelVec) core.SelVec {
-	buf, cnt := growSel(sel, len(keys))
+	buf, cnt := simd.GrowSel(sel, len(keys))
 	if f.swarOK() && !f.hasVictim {
 		cnt = f.batchSWAR(keys, buf, cnt)
 	} else {
@@ -128,9 +128,4 @@ func (f *Filter) batchSWAR(keys []core.Key, out []uint32, cnt int) int {
 		cnt += inc
 	}
 	return cnt
-}
-
-// growSel is simd.GrowSel under a local name for the kernels above.
-func growSel(sel core.SelVec, add int) (core.SelVec, int) {
-	return simd.GrowSel(sel, add)
 }

@@ -6,6 +6,7 @@ import (
 
 	"perfilter/internal/core"
 	"perfilter/internal/magic"
+	"perfilter/internal/mem"
 )
 
 // Serialization stores the table verbatim — every slot's key and probe
@@ -62,7 +63,7 @@ func Unmarshal(data []byte) (*Set, error) {
 	if count > size {
 		return nil, fmt.Errorf("exact: count %d exceeds %d slots", count, size)
 	}
-	s := &Set{slots: make([]slot, size), mask: size - 1, count: int(count)}
+	s := &Set{slots: mem.Aligned[slot](int(size)), mask: size - 1, count: int(count)}
 	occupied := uint32(0)
 	for i := range s.slots {
 		sl := slot{

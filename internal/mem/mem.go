@@ -1,0 +1,75 @@
+// Package mem provides cache-line-aligned backing storage for filter
+// word arrays.
+//
+// The paper's blocked layouts (§4 of Lang et al., PVLDB 2019) assume a
+// register-blocked or sectorized block occupies exactly one cache line,
+// so a probe costs one memory access. Go's allocator only guarantees
+// 8/16-byte alignment for ordinary slices, which lets a 512-bit block
+// straddle two lines and silently doubles the miss cost. Aligned
+// over-allocates by one cache line and re-slices so element 0 sits on a
+// 64-byte boundary; the extra padding is retained by the returned slice's
+// underlying array, so the guarantee survives for the slice's lifetime.
+package mem
+
+import "unsafe"
+
+// CacheLine is the alignment boundary, in bytes, that Aligned guarantees
+// for element 0 of every slice it returns.
+const CacheLine = 64
+
+// Aligned returns a length-n slice whose element 0 is CacheLine-aligned.
+// The element size must divide CacheLine (1, 2, 4, 8, ... byte elements);
+// other sizes fall back to a plain make, since no whole-element offset
+// can reach the boundary. n <= 0 returns nil.
+func Aligned[T any](n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	var zero T
+	size := int(unsafe.Sizeof(zero))
+	if size == 0 || CacheLine%size != 0 {
+		return make([]T, n)
+	}
+	pad := CacheLine / size
+	buf := make([]T, n+pad)
+	addr := uintptr(unsafe.Pointer(unsafe.SliceData(buf)))
+	off := 0
+	if r := int(addr % CacheLine); r != 0 {
+		off = (CacheLine - r) / size
+	}
+	return buf[off : off+n : off+n]
+}
+
+// IsAligned reports whether element 0 of s sits on a CacheLine boundary.
+// Empty slices are vacuously aligned.
+func IsAligned[T any](s []T) bool {
+	if len(s) == 0 {
+		return true
+	}
+	return uintptr(unsafe.Pointer(unsafe.SliceData(s)))%CacheLine == 0
+}
+
+// Misaligned returns a length-n slice whose element 0 is deliberately NOT
+// CacheLine-aligned (it sits one element past a boundary), so blocks
+// straddle cache lines. It exists as the control arm for the
+// aligned-vs-misaligned benchmark comparison; no filter uses it outside
+// internal/bench.
+func Misaligned[T any](n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	var zero T
+	size := int(unsafe.Sizeof(zero))
+	if size == 0 || CacheLine%size != 0 || CacheLine/size < 2 {
+		return make([]T, n)
+	}
+	pad := CacheLine / size
+	buf := make([]T, n+pad)
+	addr := uintptr(unsafe.Pointer(unsafe.SliceData(buf)))
+	// Land element 0 exactly one element past a line start.
+	off := 1
+	if r := int(addr % CacheLine); r != 0 {
+		off = (CacheLine-r)/size + 1
+	}
+	return buf[off : off+n : off+n]
+}

@@ -73,6 +73,21 @@ type batchScratch struct {
 	psel  []uint32   // per-stage selection buffer
 }
 
+// maxScratchKeys caps the batch size whose buffers are returned to the
+// scratch pool: sync.Pool entries never shrink, so without the cap one
+// giant batch would pin its oversized buffers for the filter's lifetime
+// (same rule as internal/sharded's scatter/gather scratch).
+const maxScratchKeys = 1 << 16
+
+// putScratch returns sc to the pool unless its buffers exceed the
+// retention cap.
+func (f *Filter) putScratch(sc *batchScratch) {
+	if cap(sc.cand) > maxScratchKeys {
+		return
+	}
+	f.scratch.Put(sc)
+}
+
 func (sc *batchScratch) resize(n int) {
 	if cap(sc.cand) < n {
 		sc.cand = make([]uint32, n)
@@ -199,7 +214,7 @@ func (f *Filter) ContainsBatch(keys []core.Key, sel core.SelVec) core.SelVec {
 		sc = new(batchScratch)
 	}
 	sc.resize(n)
-	defer f.scratch.Put(sc)
+	defer f.putScratch(sc)
 	cand, ckeys, hit := sc.cand[:0], sc.ckeys, sc.hit
 
 	// Newest stage: probe the caller's batch directly and seed the
@@ -292,6 +307,20 @@ func (f *Filter) Reset() {
 	first.inserted = 0
 	f.stages = f.stages[:1]
 	f.stages[0] = first
+}
+
+// StorageAligned reports whether every stage's word storage starts on a
+// cache-line boundary. Stages are blocked filters built through the
+// aligned allocator, so this is always true for filters from New; a stage
+// that cannot report alignment counts as misaligned.
+func (f *Filter) StorageAligned() bool {
+	for i := range f.stages {
+		a, ok := f.stages[i].filter.(interface{ StorageAligned() bool })
+		if !ok || !a.StorageAligned() {
+			return false
+		}
+	}
+	return true
 }
 
 // String describes the filter.

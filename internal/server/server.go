@@ -684,6 +684,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	kind := ""
 	if e.f != nil {
 		kind = e.f.Config().Kind.String()
+		// Release the tuner and the persistent batch-gather workers
+		// eagerly rather than waiting for the finalizer. Safe against
+		// handlers still holding e.f: a closed pool just makes their
+		// remaining batches run on the handler goroutine.
+		e.f.Close()
 	}
 	s.log.Info("filter deleted", "filter", name, "kind", kind)
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})

@@ -1,0 +1,8 @@
+//go:build race
+
+package sharded
+
+// raceEnabled reports whether the race detector is active: sync.Pool
+// intentionally drops a fraction of Puts under -race, so allocation
+// gates are meaningless there.
+const raceEnabled = true

@@ -3,7 +3,6 @@ package sharded
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -109,6 +108,11 @@ type Filter struct {
 	rotateMu sync.Mutex // serializes Rotate, Reset and Snapshot
 	lastID   uint64     // last generation id handed out; guarded by rotateMu
 	scratch  sync.Pool  // *batchScratch, reused across ContainsBatch calls
+	// pl is the persistent gather worker pool (pool.go), created lazily
+	// by the first batch large enough to fan out; poolMu serializes its
+	// creation and replacement (SetPoolSize, Close).
+	pl     atomic.Pointer[pool]
+	poolMu sync.Mutex
 }
 
 // batchScratch holds one ContainsBatch call's scatter/gather buffers; it
@@ -121,6 +125,25 @@ type batchScratch struct {
 	sidx    []uint32   // original position of each scattered key
 	hits    []bool     // per-position match flags
 	psel    [][]uint32 // per-shard selection buffers
+}
+
+// maxScratchKeys caps the batch size whose buffers are returned to the
+// scratch pool: sync.Pool never shrinks its entries, so without the cap
+// one giant batch would pin its oversized buffers for the Filter's
+// lifetime. Oversized scratch is simply dropped for the GC; the next
+// normal batch allocates working-set-sized buffers again. 64Ki keys is
+// ~1.2 MiB of scratch — far above the batch plane's sizes, so steady
+// traffic never hits the cap.
+const maxScratchKeys = 1 << 16
+
+// putScratch returns sc to the pool unless its buffers exceed the
+// retention cap (cap(ids) is the high-water batch length all per-key
+// buffers were sized by).
+func (f *Filter) putScratch(sc *batchScratch) {
+	if cap(sc.ids) > maxScratchKeys {
+		return
+	}
+	f.scratch.Put(sc)
 }
 
 // resizeScatter prepares the buffers both batch paths share (the
@@ -356,7 +379,7 @@ func (f *Filter) InsertBatchCtx(ctx context.Context, keys []Key) (int, error) {
 			sc = new(batchScratch)
 		}
 		sc.resizeScatter(n, p)
-		defer f.scratch.Put(sc)
+		defer f.putScratch(sc)
 
 		ids, offsets := sc.ids, sc.offsets
 		for i, k := range keys {
@@ -378,24 +401,18 @@ func (f *Filter) InsertBatchCtx(ctx context.Context, keys []Key) (int, error) {
 	// The scatter is generation-independent (rotations preserve the shard
 	// count), so the same grouped runs replay into staging and successor
 	// generations for the lossless re-check below.
-	// shardSpan opens one per-shard child span; nil parent (unsampled)
-	// returns nil, which every Span method absorbs.
-	shardSpan := func(g *generation, s, count int, dual bool) *obs.Span {
-		if parent == nil {
-			return nil
-		}
-		c := parent.StartChild("shard.insert")
-		c.SetAttr("shard", s)
-		c.SetAttr("generation", g.seq)
-		c.SetAttr("keys", count)
-		if dual {
-			c.SetAttr("dual_write", true)
-		}
-		return c
-	}
 	insertAll := func(g *generation, dual bool) (int, error) {
 		if p == 1 {
-			c := shardSpan(g, 0, n, dual)
+			var c *obs.Span
+			if parent != nil {
+				c = parent.StartChild("shard.insert")
+				c.SetAttr("shard", 0)
+				c.SetAttr("generation", g.seq)
+				c.SetAttr("keys", n)
+				if dual {
+					c.SetAttr("dual_write", true)
+				}
+			}
 			s := g.shards[0]
 			s.mu.Lock()
 			defer s.mu.Unlock()
@@ -409,27 +426,23 @@ func (f *Filter) InsertBatchCtx(ctx context.Context, keys []Key) (int, error) {
 			}
 			return n, nil
 		}
+		// Large batches take the same persistent-pool fan-out as the
+		// probe gather (distinct shards, distinct write locks); the rest
+		// run the shard loop on this goroutine.
+		if n >= parallelBatchMin {
+			if pl := f.pool(); pl.running() {
+				mPoolBatchesParallel.Inc()
+				return f.parallelGather(pl, g, sc, parent, p, true, dual)
+			}
+		}
+		mPoolBatchesSeq.Inc()
 		inserted := 0
 		for s := 0; s < p; s++ {
-			lo, hi := sc.offsets[s], sc.offsets[s+1]
-			if lo == hi {
-				continue
+			count, err := insertRun(g, sc, parent, s, dual)
+			inserted += count
+			if err != nil {
+				return inserted, err
 			}
-			c := shardSpan(g, s, int(hi-lo), dual)
-			sh := g.shards[s]
-			sh.mu.Lock()
-			for _, k := range sc.skeys[lo:hi] {
-				if err := sh.f.Insert(k); err != nil {
-					sh.mu.Unlock()
-					c.SetAttr("error", err.Error())
-					c.End()
-					return inserted, err
-				}
-				sh.count++
-				inserted++
-			}
-			sh.mu.Unlock()
-			c.End()
 		}
 		return inserted, nil
 	}
@@ -520,7 +533,7 @@ func (f *Filter) ContainsBatchCtx(ctx context.Context, keys []Key, sel core.SelV
 		sc = new(batchScratch)
 	}
 	sc.resizeGather(n, p)
-	defer f.scratch.Put(sc)
+	defer f.putScratch(sc)
 
 	// Scatter: counting sort the batch into per-shard contiguous runs,
 	// remembering each scattered key's original position.
@@ -545,64 +558,100 @@ func (f *Filter) ContainsBatchCtx(ctx context.Context, keys []Key, sel core.SelV
 
 	// Gather: probe each shard's run; mark hits at original positions.
 	// Distinct shards own distinct positions (and distinct psel slots),
-	// so workers never write the same element.
-	hits := sc.hits
-	probeShard := func(s int) {
-		lo, hi := offsets[s], offsets[s+1]
-		if lo == hi {
-			return
-		}
-		var c *obs.Span
-		if parent != nil {
-			c = parent.StartChild("shard.probe")
-			c.SetAttr("shard", s)
-			c.SetAttr("generation", g.seq)
-			c.SetAttr("keys", int(hi-lo))
-		}
-		sub := skeys[lo:hi]
-		sh := g.shards[s]
-		sh.mu.RLock()
-		psel := sh.f.ContainsBatch(sub, sc.psel[s][:0])
-		sh.mu.RUnlock()
-		sc.psel[s] = psel
-		for _, pos := range psel {
-			hits[sidx[lo+uint32(pos)]] = true
-		}
-		if c != nil {
-			c.SetAttr("hits", len(psel))
-			c.End()
+	// so workers never write the same element. Large batches recruit the
+	// persistent worker pool; everything else runs on this goroutine —
+	// no goroutine is ever spawned per batch.
+	parallel := false
+	if n >= parallelBatchMin {
+		if pl := f.pool(); pl.running() {
+			parallel = true
+			mPoolBatchesParallel.Inc()
+			f.parallelGather(pl, g, sc, parent, p, false, false)
 		}
 	}
-	if workers := min(p, runtime.GOMAXPROCS(0)); n >= parallelBatchMin && workers > 1 {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					s := int(next.Add(1)) - 1
-					if s >= p {
-						return
-					}
-					probeShard(s)
-				}
-			}()
-		}
-		wg.Wait()
-	} else {
+	if !parallel {
+		mPoolBatchesSeq.Inc()
 		for s := 0; s < p; s++ {
-			probeShard(s)
+			probeRun(g, sc, parent, s)
 		}
 	}
 
 	// Merge, preserving batch order.
-	for i, hit := range hits {
+	for i, hit := range sc.hits {
 		if hit {
 			sel = append(sel, uint32(i))
 		}
 	}
 	return sel
+}
+
+// probeRun probes shard s's scattered run under its read lock and marks
+// hits at their original batch positions — the per-shard unit both the
+// sequential gather loop and the pool workers execute.
+func probeRun(g *generation, sc *batchScratch, parent *obs.Span, s int) {
+	lo, hi := sc.offsets[s], sc.offsets[s+1]
+	if lo == hi {
+		return
+	}
+	var c *obs.Span
+	if parent != nil {
+		c = parent.StartChild("shard.probe")
+		c.SetAttr("shard", s)
+		c.SetAttr("generation", g.seq)
+		c.SetAttr("keys", int(hi-lo))
+	}
+	sub := sc.skeys[lo:hi]
+	sh := g.shards[s]
+	sh.mu.RLock()
+	psel := sh.f.ContainsBatch(sub, sc.psel[s][:0])
+	sh.mu.RUnlock()
+	sc.psel[s] = psel
+	for _, pos := range psel {
+		sc.hits[sc.sidx[lo+uint32(pos)]] = true
+	}
+	if c != nil {
+		c.SetAttr("hits", len(psel))
+		c.End()
+	}
+}
+
+// insertRun inserts shard s's scattered run under its write lock — the
+// per-shard unit both the sequential insert loop and the pool workers
+// execute. It returns how many keys landed before any error; on error
+// the run stops at the failing key.
+func insertRun(g *generation, sc *batchScratch, parent *obs.Span, s int, dual bool) (int, error) {
+	lo, hi := sc.offsets[s], sc.offsets[s+1]
+	if lo == hi {
+		return 0, nil
+	}
+	var c *obs.Span
+	if parent != nil {
+		c = parent.StartChild("shard.insert")
+		c.SetAttr("shard", s)
+		c.SetAttr("generation", g.seq)
+		c.SetAttr("keys", int(hi-lo))
+		if dual {
+			c.SetAttr("dual_write", true)
+		}
+	}
+	sh := g.shards[s]
+	sh.mu.Lock()
+	for i, k := range sc.skeys[lo:hi] {
+		if err := sh.f.Insert(k); err != nil {
+			sh.mu.Unlock()
+			if c != nil {
+				c.SetAttr("error", err.Error())
+				c.End()
+			}
+			return i, err
+		}
+		sh.count++
+	}
+	sh.mu.Unlock()
+	if c != nil {
+		c.End()
+	}
+	return int(hi - lo), nil
 }
 
 // Rotate builds a complete replacement generation off to the side and
@@ -767,6 +816,22 @@ func (f *Filter) FPR(n uint64) float64 {
 	fpr := s.f.FPR((n + p - 1) / p)
 	s.mu.RUnlock()
 	return fpr
+}
+
+// StorageAligned reports whether every shard's inner filter reports
+// cache-line-aligned word storage; a shard whose kind cannot report
+// alignment counts as misaligned.
+func (f *Filter) StorageAligned() bool {
+	for _, s := range f.gen.Load().shards {
+		s.mu.RLock()
+		a, ok := s.f.(interface{ StorageAligned() bool })
+		aligned := ok && a.StorageAligned()
+		s.mu.RUnlock()
+		if !aligned {
+			return false
+		}
+	}
+	return true
 }
 
 // Stats is a point-in-time snapshot of the sharded filter.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"perfilter/internal/mem"
 	"perfilter/internal/rng"
 )
 
@@ -80,9 +81,9 @@ func layoutFor(p Params, slots uint64, n uint64) table {
 	}
 	total := t.totalSlots()
 	if p.FingerprintBits == 16 {
-		t.fp16 = make([]uint16, total)
+		t.fp16 = mem.Aligned[uint16](int(total))
 	} else {
-		t.fp8 = make([]uint8, total)
+		t.fp8 = mem.Aligned[uint8](int(total))
 	}
 	return t
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"perfilter/internal/magic"
+	"perfilter/internal/mem"
 )
 
 // Serialization mirrors the other families': a fixed little-endian header
@@ -143,12 +144,13 @@ func Unmarshal(data []byte) (*Filter, error) {
 	}
 	if total != 0 {
 		if p.FingerprintBits == 16 {
-			f.tab.fp16 = make([]uint16, total)
+			f.tab.fp16 = mem.Aligned[uint16](int(total))
 			for i := range f.tab.fp16 {
 				f.tab.fp16[i] = le.Uint16(body[2*i:])
 			}
 		} else {
-			f.tab.fp8 = append([]uint8(nil), body[:total]...)
+			f.tab.fp8 = mem.Aligned[uint8](int(total))
+			copy(f.tab.fp8, body[:total])
 		}
 	}
 	keyBody := body[total*wBytes:]

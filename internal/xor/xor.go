@@ -36,6 +36,7 @@ import (
 
 	"perfilter/internal/core"
 	"perfilter/internal/fpr"
+	"perfilter/internal/mem"
 	"perfilter/internal/rng"
 )
 
@@ -291,6 +292,13 @@ func (f *Filter) Count() uint64 {
 
 // FPR returns the analytic false-positive rate (2^-w, independent of n).
 func (f *Filter) FPR(n uint64) float64 { return f.params.FPR() }
+
+// StorageAligned reports whether the fingerprint table starts on a
+// cache-line boundary. An unsealed filter has no table yet and is
+// vacuously aligned.
+func (f *Filter) StorageAligned() bool {
+	return mem.IsAligned(f.tab.fp8) && mem.IsAligned(f.tab.fp16)
+}
 
 // Reset returns the filter to the empty building phase.
 func (f *Filter) Reset() {

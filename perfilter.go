@@ -337,6 +337,9 @@ func (c *CuckooFilter) Reset() { c.f.Reset() }
 // String implements Filter.
 func (c *CuckooFilter) String() string { return c.f.Params().String() }
 
+// StorageAligned reports whether the tag array is cache-line aligned.
+func (c *CuckooFilter) StorageAligned() bool { return c.f.StorageAligned() }
+
 // XorFilter is the Filter implementation for the immutable xor/fuse
 // family, exposing its build-once lifecycle: inserts buffer until Seal
 // solves the fingerprint table, and inserts after Seal park in an
@@ -387,6 +390,10 @@ func (x *XorFilter) Reset() { x.f.Reset() }
 // String implements Filter.
 func (x *XorFilter) String() string { return x.f.String() }
 
+// StorageAligned reports whether the fingerprint table is cache-line
+// aligned (vacuously true before Seal).
+func (x *XorFilter) StorageAligned() bool { return x.f.StorageAligned() }
+
 // blockedAdapter adapts blocked.Probe (whose Insert cannot fail).
 type blockedAdapter struct {
 	f blocked.Probe
@@ -403,6 +410,10 @@ func (a *blockedAdapter) SizeBits() uint64     { return a.f.SizeBits() }
 func (a *blockedAdapter) FPR(n uint64) float64 { return a.f.FPR(n) }
 func (a *blockedAdapter) Reset()               { a.f.Reset() }
 func (a *blockedAdapter) String() string       { return a.f.Params().String() }
+func (a *blockedAdapter) StorageAligned() bool {
+	r, ok := a.f.(interface{ StorageAligned() bool })
+	return ok && r.StorageAligned()
+}
 
 type classicAdapter struct {
 	f *bloom.Filter
@@ -419,6 +430,7 @@ func (a *classicAdapter) SizeBits() uint64     { return a.f.SizeBits() }
 func (a *classicAdapter) FPR(n uint64) float64 { return a.f.FPR(n) }
 func (a *classicAdapter) Reset()               { a.f.Reset() }
 func (a *classicAdapter) String() string       { return a.f.Params().String() }
+func (a *classicAdapter) StorageAligned() bool { return a.f.StorageAligned() }
 
 type exactAdapter struct {
 	s *exact.Set
@@ -436,6 +448,7 @@ func (a *exactAdapter) SizeBits() uint64     { return a.s.SizeBits() }
 func (a *exactAdapter) FPR(n uint64) float64 { return 0 }
 func (a *exactAdapter) Reset()               { a.s.Reset() }
 func (a *exactAdapter) String() string       { return a.s.String() }
+func (a *exactAdapter) StorageAligned() bool { return a.s.StorageAligned() }
 
 // compile-time interface checks
 var (
